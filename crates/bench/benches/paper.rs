@@ -1,0 +1,227 @@
+//! Real-CPU criterion benchmarks for every configuration in the paper's
+//! evaluation.
+//!
+//! These run over the inline-synchronous network: a whole RPC round trip is
+//! one call chain on one thread, with no scheduler and no virtual time, so
+//! criterion measures the *actual* CPU cost of each protocol path on
+//! today's hardware. Absolute numbers are of course thousands of times
+//! smaller than the paper's Sun 3/75 milliseconds; what must reproduce is
+//! the *shape* — who is cheaper than whom, and by roughly what factor.
+//! The virtual-time binaries (`table1`..`fig3`, `ablations`, `intro`)
+//! report the calibrated millisecond-scale results.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use inet::testbed::{two_hosts, TwoHosts};
+use inet::with_concrete;
+use xbench::registry;
+use xkernel::msg::HeaderPolicy;
+use xkernel::prelude::*;
+use xkernel::sim::{Mode, SimConfig};
+use xrpc::pinger::Pinger;
+use xrpc::procs::{NULL_PROC, SINK_PROC};
+use xrpc::stacks::{StackDef, ALL_RPC_STACKS, TABLE3_STACKS};
+
+fn inline_rig(graph: &str) -> TwoHosts {
+    two_hosts(SimConfig::inline_mode(), &registry(), graph).expect("testbed builds")
+}
+
+fn rpc_rig(stack: &StackDef) -> TwoHosts {
+    let tb = inline_rig(stack.graph);
+    xrpc::procs::register_standard(&tb.server, stack.entry).expect("procedures register");
+    tb
+}
+
+/// Null-RPC latency for every full stack (Tables I and II).
+fn bench_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("latency_null_rpc");
+    for stack in &ALL_RPC_STACKS {
+        let tb = rpc_rig(stack);
+        let ctx = tb.sim.ctx(tb.client.host());
+        let server_ip = tb.server_ip;
+        let k = tb.client.clone();
+        g.bench_function(stack.name, |b| {
+            b.iter(|| xrpc::call(&ctx, &k, stack.entry, server_ip, NULL_PROC, Vec::new()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// 16 k-byte request / null reply (the throughput test shape) for the
+/// monolithic and layered stacks (Tables I and II).
+fn bench_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("throughput_16k");
+    g.throughput(Throughput::Bytes(16 * 1024));
+    for stack in &ALL_RPC_STACKS {
+        let tb = rpc_rig(stack);
+        let ctx = tb.sim.ctx(tb.client.host());
+        let server_ip = tb.server_ip;
+        let k = tb.client.clone();
+        let payload = vec![0xA5u8; 16 * 1024];
+        g.bench_function(stack.name, |b| {
+            b.iter(|| {
+                xrpc::call(&ctx, &k, stack.entry, server_ip, SINK_PROC, payload.clone()).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Table III: each prefix of the layered stack.
+fn bench_layers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_layer_cost");
+    for (name, graph, lower) in TABLE3_STACKS {
+        if lower == "select" {
+            // The full stack appears in latency_null_rpc; measure it here
+            // too so the group is self-contained.
+            let tb = rpc_rig(&xrpc::stacks::L_RPC_VIP);
+            let ctx = tb.sim.ctx(tb.client.host());
+            let server_ip = tb.server_ip;
+            let k = tb.client.clone();
+            g.bench_function(name, |b| {
+                b.iter(|| xrpc::call(&ctx, &k, "select", server_ip, NULL_PROC, Vec::new()).unwrap())
+            });
+            continue;
+        }
+        // Pinger harness: client host 0, echo host 1.
+        let sim = xkernel::sim::Sim::new(SimConfig::inline_mode());
+        let net = simnet::SimNet::new(&sim);
+        let lan = net.add_lan(simnet::LanConfig::default());
+        let reg = registry();
+        let mut kernels = Vec::new();
+        for (i, ip) in ["10.0.0.1", "10.0.0.2"].iter().enumerate() {
+            let k = Kernel::new(&sim, &format!("h{i}"));
+            net.attach(&k, lan, "nic0", EthAddr::from_index(i as u16 + 1))
+                .unwrap();
+            let spec = format!(
+                "{}{}pinger echo={} -> {lower}\n",
+                inet::standard_graph("nic0", ip),
+                graph,
+                i
+            );
+            reg.build(&sim, &k, &spec).unwrap();
+            kernels.push(k);
+        }
+        let ctx = sim.ctx(kernels[0].host());
+        let server_ip = IpAddr::new(10, 0, 0, 2);
+        let client = kernels[0].clone();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                with_concrete::<Pinger, _>(&client, "pinger", |p| {
+                    p.rtt(&ctx, server_ip, Vec::new()).unwrap()
+                })
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// §5 buffer-management ablation: real allocation cost of the legacy
+/// per-header scheme versus the pre-allocated headroom scheme.
+fn bench_buffer_schemes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_buffer_scheme");
+    for (label, policy) in [
+        ("headroom", HeaderPolicy::default()),
+        ("alloc_per_header", HeaderPolicy::AllocPerHeader),
+    ] {
+        let cfg = SimConfig::inline_mode().with_policy(policy);
+        let tb = two_hosts(cfg, &registry(), xrpc::stacks::L_RPC_VIP.graph).unwrap();
+        xrpc::procs::register_standard(&tb.server, "select").unwrap();
+        let ctx = tb.sim.ctx(tb.client.host());
+        let server_ip = tb.server_ip;
+        let k = tb.client.clone();
+        g.bench_function(label, |b| {
+            b.iter(|| xrpc::call(&ctx, &k, "select", server_ip, NULL_PROC, Vec::new()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// §5 layer-scaling ablation: null layers between SELECT and CHANNEL.
+fn bench_layer_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_layer_scaling");
+    for n in [0usize, 2, 4, 8] {
+        let mut graph = String::from("vip -> ip eth arp\nfragment -> vip\nchannel -> fragment\n");
+        let mut below = String::from("channel");
+        for i in 0..n {
+            graph.push_str(&format!("null{i}: null -> {below}\n"));
+            below = format!("null{i}");
+        }
+        graph.push_str(&format!("select -> {below}\n"));
+        let tb = inline_rig(&graph);
+        xrpc::procs::register_standard(&tb.server, "select").unwrap();
+        let ctx = tb.sim.ctx(tb.client.host());
+        let server_ip = tb.server_ip;
+        let k = tb.client.clone();
+        g.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| xrpc::call(&ctx, &k, "select", server_ip, NULL_PROC, Vec::new()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Raw message-machinery microbenchmarks backing the buffer ablation.
+fn bench_message_ops(c: &mut Criterion) {
+    use xkernel::msg::Message;
+    let mut g = c.benchmark_group("message_ops");
+    g.bench_function("push_pop_5_headers_headroom", |b| {
+        b.iter(|| {
+            let mut m = Message::from_user(vec![0u8; 64]);
+            for _ in 0..5 {
+                m.push_header(&[7u8; 16]);
+            }
+            for _ in 0..5 {
+                let h = m.pop_header(16).unwrap();
+                assert_eq!(h.len(), 16);
+            }
+            m
+        })
+    });
+    g.bench_function("push_pop_5_headers_alloc", |b| {
+        b.iter(|| {
+            let mut m = Message::from_user_with(HeaderPolicy::AllocPerHeader, vec![0u8; 64]);
+            for _ in 0..5 {
+                m.push_header(&[7u8; 16]);
+            }
+            for _ in 0..5 {
+                let h = m.pop_header(16).unwrap();
+                assert_eq!(h.len(), 16);
+            }
+            m
+        })
+    });
+    g.bench_function("split_16k_into_fragments", |b| {
+        let base = Message::from_user(vec![0u8; 16 * 1024]);
+        b.iter(|| {
+            let mut m = base.clone();
+            let mut frags = Vec::with_capacity(12);
+            while m.len() > 1460 {
+                let rest = m.split_off(1460).unwrap();
+                frags.push(std::mem::replace(&mut m, rest));
+            }
+            frags.push(m);
+            frags
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(60)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_latency, bench_throughput, bench_layers,
+              bench_buffer_schemes, bench_layer_scaling, bench_message_ops
+}
+criterion_main!(benches);
+
+// Silence the unused-import lint when criterion's Mode isn't referenced.
+#[allow(dead_code)]
+fn _mode_used(_: Mode) {}

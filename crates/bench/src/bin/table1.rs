@@ -1,0 +1,48 @@
+//! Table I — Evaluating VIP.
+//!
+//! Latency, 16 k throughput, and incremental cost for monolithic Sprite RPC
+//! over ETH, IP, and VIP, plus the modelled native-Sprite baseline `N_RPC`
+//! (see DESIGN.md §1: the native kernel is modelled, not rebuilt).
+
+use xbench::{measure_stack, ms, print_row, print_table_header};
+use xrpc::stacks::{StackDef, M_RPC_ETH, M_RPC_IP, M_RPC_VIP};
+
+/// The modelled native-Sprite baseline: M_RPC over an Ethernet handicapped
+/// with, per message sent: one extra process switch (Sprite's non-shepherd
+/// process architecture) and one extra data copy (no single-buffer message
+/// path), plus the paper's footnoted 0.2 msec crash/reboot-detection
+/// callback per round trip.
+pub const N_RPC: StackDef = StackDef {
+    name: "N_RPC (modelled)",
+    graph: "hcap: handicap as=eth switches=1 copy256=256 fixed_ns=200000 -> eth\n\
+            mrpc: sprite -> hcap arp\n",
+    entry: "mrpc",
+};
+
+fn main() {
+    let paper: [(&StackDef, &str, &str, &str); 4] = [
+        (&N_RPC, "2.6", "700+", "1.2"),
+        (&M_RPC_ETH, "1.73", "863", "1.04"),
+        (&M_RPC_IP, "2.10", "836", "1.05"),
+        (&M_RPC_VIP, "1.79", "860", "1.04"),
+    ];
+    print_table_header(
+        "Table I: Evaluating VIP (paper value in parentheses)",
+        &[
+            "Configuration",
+            "Latency (msec)",
+            "Thrpt (kbytes/sec)",
+            "Incr (msec/1k)",
+        ],
+    );
+    for (stack, p_lat, p_thr, p_inc) in paper {
+        let r = measure_stack(stack);
+        print_row(&[
+            stack.name.to_string(),
+            format!("{} ({p_lat})", ms(r.latency_ns)),
+            format!("{:.0} ({p_thr})", r.throughput_kbs),
+            format!("{:.2} ({p_inc})", r.incr_ms_per_k),
+        ]);
+    }
+    println!();
+}

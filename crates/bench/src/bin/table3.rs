@@ -1,0 +1,38 @@
+//! Table III — Cost of individual RPC layers: latency of each prefix of the
+//! SELECT-CHANNEL-FRAGMENT-VIP stack, and the per-layer increments.
+
+use xbench::{ms, pinger_latency, print_row, print_table_header, rpc_latency};
+use xrpc::stacks::{L_RPC_VIP, TABLE3_STACKS};
+
+fn main() {
+    print_table_header(
+        "Table III: Cost of Individual RPC Layers (paper value in parentheses)",
+        &[
+            "Configuration",
+            "Latency (msec)",
+            "Incremental (msec/layer)",
+        ],
+    );
+    let paper_lat = ["1.12", "1.33", "1.82", "1.93"];
+    let paper_inc = ["NA", "0.21", "0.49", "0.11"];
+    let mut prev: Option<u64> = None;
+    for (i, (name, graph, lower)) in TABLE3_STACKS.iter().enumerate() {
+        let lat = if *lower == "select" {
+            // The full stack is a real RPC; measure it exactly as Table II.
+            rpc_latency(&L_RPC_VIP)
+        } else {
+            pinger_latency(graph, lower)
+        };
+        let inc = match prev {
+            None => "NA".to_string(),
+            Some(p) => format!("{} ({})", ms(lat.saturating_sub(p)), paper_inc[i]),
+        };
+        print_row(&[
+            name.to_string(),
+            format!("{} ({})", ms(lat), paper_lat[i]),
+            inc,
+        ]);
+        prev = Some(lat);
+    }
+    println!();
+}

@@ -1,0 +1,201 @@
+//! # xbench — the experiment harness
+//!
+//! Regenerates every table and figure in the paper's evaluation section.
+//! Each `src/bin/*` binary prints one table, with the paper's values beside
+//! ours; `benches/paper.rs` measures the same configurations as real CPU
+//! time (criterion, inline-synchronous network).
+//!
+//! Methodology mirrors §4: the latency test is "the round trip delay for
+//! invoking a null procedure with null request and reply messages"; the
+//! throughput test uses "a series of large request messages (ranging in
+//! size from 1k-bytes to 16k-bytes) and a null reply", fragments ≤ 1500
+//! bytes, kernel-to-kernel, two hosts on an isolated 10 Mbps Ethernet.
+//! Measurements run in virtual time, so they are exactly reproducible; the
+//! per-primitive Sun 3/75 cost calibration lives in
+//! [`xkernel::cost::CostModel::sun3_75`] and is shared by every experiment.
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use inet::testbed::{base_registry, two_hosts, TwoHosts};
+use inet::with_concrete;
+use xkernel::graph::ProtocolRegistry;
+use xkernel::prelude::*;
+use xkernel::sim::{Mode, Sim, SimConfig};
+use xrpc::pinger::Pinger;
+use xrpc::procs::{NULL_PROC, SINK_PROC};
+use xrpc::stacks::StackDef;
+
+/// Iterations for virtual-time latency runs. The simulation is
+/// deterministic, so a few hundred suffice where the paper needed 10,000.
+pub const LATENCY_ITERS: usize = 400;
+/// Warm-up calls before measuring (ARP, session creation, caches).
+pub const WARMUP_ITERS: usize = 8;
+/// Iterations per size for throughput runs.
+pub const THROUGHPUT_ITERS: usize = 60;
+
+/// The registry with every constructor in the workspace.
+pub fn registry() -> ProtocolRegistry {
+    let mut reg = base_registry();
+    xrpc::register_ctors(&mut reg);
+    xkernel::shim::register_ctors(&mut reg);
+    sunrpc::register_ctors(&mut reg);
+    psync::register_ctors(&mut reg);
+    reg
+}
+
+/// Builds the standard two-host rig for a stack in the given mode, with the
+/// standard procedures registered on the server.
+pub fn rpc_rig(stack: &StackDef, mode: Mode) -> TwoHosts {
+    let cfg = match mode {
+        Mode::Inline => SimConfig::inline_mode(),
+        Mode::Scheduled => SimConfig::scheduled(),
+    };
+    let tb = two_hosts(cfg, &registry(), stack.graph).expect("testbed builds");
+    xrpc::procs::register_standard(&tb.server, stack.entry).expect("procedures register");
+    tb
+}
+
+/// Round-trip latency (virtual ns) of a null RPC on `stack`.
+pub fn rpc_latency(stack: &StackDef) -> u64 {
+    let tb = rpc_rig(stack, Mode::Scheduled);
+    let server_ip = tb.server_ip;
+    let entry = stack.entry;
+    let out = Arc::new(Mutex::new(0u64));
+    let o2 = Arc::clone(&out);
+    tb.sim.spawn(tb.client.host(), move |ctx| {
+        let k = ctx.kernel();
+        for _ in 0..WARMUP_ITERS {
+            xrpc::call(ctx, &k, entry, server_ip, NULL_PROC, Vec::new()).unwrap();
+        }
+        let t0 = ctx.now();
+        for _ in 0..LATENCY_ITERS {
+            xrpc::call(ctx, &k, entry, server_ip, NULL_PROC, Vec::new()).unwrap();
+        }
+        *o2.lock() = (ctx.now() - t0) / LATENCY_ITERS as u64;
+    });
+    let r = tb.sim.run_until_idle();
+    assert_eq!(r.blocked, 0, "latency run must drain");
+    let v = *out.lock();
+    v
+}
+
+/// One throughput measurement: round trips of `size`-byte requests with
+/// null replies. Returns average ns per call.
+pub fn rpc_rtt_for_size(stack: &StackDef, size: usize, iters: usize) -> u64 {
+    let tb = rpc_rig(stack, Mode::Scheduled);
+    let server_ip = tb.server_ip;
+    let entry = stack.entry;
+    let out = Arc::new(Mutex::new(0u64));
+    let o2 = Arc::clone(&out);
+    tb.sim.spawn(tb.client.host(), move |ctx| {
+        let k = ctx.kernel();
+        let payload: Vec<u8> = vec![0xA5; size];
+        for _ in 0..WARMUP_ITERS {
+            xrpc::call(ctx, &k, entry, server_ip, SINK_PROC, payload.clone()).unwrap();
+        }
+        let t0 = ctx.now();
+        for _ in 0..iters {
+            xrpc::call(ctx, &k, entry, server_ip, SINK_PROC, payload.clone()).unwrap();
+        }
+        *o2.lock() = (ctx.now() - t0) / iters as u64;
+    });
+    let r = tb.sim.run_until_idle();
+    assert_eq!(r.blocked, 0, "throughput run must drain");
+    let v = *out.lock();
+    v
+}
+
+/// Results of the full §4 measurement battery for one configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct StackResult {
+    /// Null-RPC round trip, ns.
+    pub latency_ns: u64,
+    /// Throughput at 16 k-byte messages, kbytes/sec.
+    pub throughput_kbs: f64,
+    /// Incremental cost per additional kbyte, msec (slope of the 1k..16k
+    /// sweep).
+    pub incr_ms_per_k: f64,
+}
+
+/// Runs latency + the 1k..16k throughput sweep for `stack`.
+pub fn measure_stack(stack: &StackDef) -> StackResult {
+    let latency_ns = rpc_latency(stack);
+    let t1k = rpc_rtt_for_size(stack, 1024, THROUGHPUT_ITERS);
+    let t16k = rpc_rtt_for_size(stack, 16 * 1024, THROUGHPUT_ITERS);
+    let throughput_kbs = 16.0 * 1024.0 / (t16k as f64 / 1e9) / 1024.0;
+    let incr_ms_per_k = (t16k - t1k) as f64 / 15.0 / 1e6;
+    StackResult {
+        latency_ns,
+        throughput_kbs,
+        incr_ms_per_k,
+    }
+}
+
+/// Round-trip latency (virtual ns) through a partial stack measured with
+/// the PINGER protocol (Table III rows without a full RPC on top).
+pub fn pinger_latency(graph: &str, lower: &str) -> u64 {
+    let sim = Sim::new(SimConfig::scheduled());
+    let net = simnet::SimNet::new(&sim);
+    let lan = net.add_lan(simnet::LanConfig::default());
+    let reg = registry();
+    let mut kernels = Vec::new();
+    for (i, ip) in ["10.0.0.1", "10.0.0.2"].iter().enumerate() {
+        let k = Kernel::new(&sim, &format!("h{i}"));
+        net.attach(&k, lan, "nic0", EthAddr::from_index(i as u16 + 1))
+            .expect("attach");
+        let spec = format!(
+            "{}{}pinger echo={} -> {lower}\n",
+            inet::standard_graph("nic0", ip),
+            graph,
+            i
+        );
+        reg.build(&sim, &k, &spec).expect("graph builds");
+        kernels.push(k);
+    }
+    let server_ip = IpAddr::new(10, 0, 0, 2);
+    let out = Arc::new(Mutex::new(0u64));
+    let o2 = Arc::clone(&out);
+    let client = Arc::clone(&kernels[0]);
+    sim.spawn(client.host(), move |ctx| {
+        with_concrete::<Pinger, _>(&ctx.kernel(), "pinger", |p| {
+            p.run_series(ctx, server_ip, WARMUP_ITERS, 0).unwrap();
+            let total = p.run_series(ctx, server_ip, LATENCY_ITERS, 0).unwrap();
+            *o2.lock() = total / LATENCY_ITERS as u64;
+        })
+        .unwrap();
+    });
+    let r = sim.run_until_idle();
+    assert_eq!(r.blocked, 0, "pinger run must drain");
+    let v = *out.lock();
+    v
+}
+
+/// Formats nanoseconds as the paper's msec with two decimals.
+pub fn ms(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e6)
+}
+
+/// Prints a table header in the paper's style.
+pub fn print_table_header(title: &str, columns: &[&str]) {
+    println!("\n{title}");
+    println!("{}", "=".repeat(title.len()));
+    let mut line = String::new();
+    for c in columns {
+        line.push_str(&format!("{c:>24}"));
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(24 * columns.len()));
+}
+
+/// Prints one table row.
+pub fn print_row(cells: &[String]) {
+    let mut line = String::new();
+    for c in cells {
+        line.push_str(&format!("{c:>24}"));
+    }
+    println!("{line}");
+}

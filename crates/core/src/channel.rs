@@ -1,0 +1,642 @@
+//! CHANNEL — request/reply transactions with at-most-once semantics.
+//!
+//! The middle layer of the layered Sprite RPC decomposition. Each channel is
+//! a separate session; a high-level protocol pushes a request into it and
+//! the reply message is returned from `push`. The algorithm is Sprite's
+//! (implicit acknowledgement, after Birrell & Nelson):
+//!
+//! * the receipt of a reply acknowledges the request;
+//! * the receipt of a new request on a channel acknowledges the previous
+//!   reply (the server may then discard its saved copy);
+//! * a retransmitted request for work in progress elicits an explicit ACK
+//!   so the client stops resending;
+//! * a retransmitted request matching the last completed sequence number
+//!   elicits a retransmission of the saved reply;
+//! * boot ids detect peer reincarnation and reset sequence state.
+//!
+//! CHANNEL's timeout is the paper's *step function*: for single-fragment
+//! messages it is short, while for multi-fragment messages it asks the layer
+//! below (`GetFragCount`) and waits "long enough to be sure that the
+//! fragmentation layer is not in the middle of transmitting the message".
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
+
+use parking_lot::Mutex;
+
+use xkernel::prelude::*;
+use xkernel::sim::Nanos;
+
+use crate::hdr::{flags, ChannelHdr, CHANNEL_HDR_LEN};
+use crate::protnum::{peer_key, rel_proto_num, PeerKey};
+
+/// Tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ChanConfig {
+    /// Timeout for single-fragment requests.
+    pub base_timeout_ns: Nanos,
+    /// Extra wait per additional fragment the layer below must move.
+    pub per_frag_ns: Nanos,
+    /// Retransmissions before giving up.
+    pub max_retries: u32,
+}
+
+impl Default for ChanConfig {
+    fn default() -> ChanConfig {
+        ChanConfig {
+            base_timeout_ns: 100_000_000,
+            per_frag_ns: 25_000_000,
+            max_retries: 8,
+        }
+    }
+}
+
+struct Outstanding {
+    seq: u32,
+    sema: SharedSema,
+    reply: Option<Result<Message, u16>>,
+    acked: bool,
+    sent_at: u64,
+}
+
+/// Run-time-tunable knobs (the `SetTimeout` control op).
+struct Tunables {
+    base_timeout_ns: AtomicU64,
+    peer_boot: AtomicU32,
+}
+
+struct ClientState {
+    seq: u32,
+    outstanding: Option<Outstanding>,
+}
+
+/// A client channel: one outstanding RPC at a time.
+pub struct ChanClientSession {
+    parent: Arc<Channel>,
+    chan: u16,
+    proto_num: u32,
+    peer: IpAddr,
+    lower: SessionRef,
+    st: Mutex<ClientState>,
+}
+
+impl ChanClientSession {
+    fn step_timeout(&self, ctx: &Ctx, wire_len: usize) -> Nanos {
+        let cfg = &self.parent.cfg;
+        let base = self.parent.tunables.base_timeout_ns.load(Ordering::Relaxed);
+        let frags = self
+            .lower
+            .control(ctx, &ControlOp::GetFragCount(wire_len))
+            .and_then(|r| r.size())
+            .unwrap_or(1);
+        base + cfg.per_frag_ns * (frags.saturating_sub(1) as u64)
+    }
+}
+
+impl Session for ChanClientSession {
+    fn protocol_id(&self) -> ProtoId {
+        self.parent.me
+    }
+
+    fn push(&self, ctx: &Ctx, msg: Message) -> XResult<Option<Message>> {
+        let (seq, sema) = {
+            let mut st = self.st.lock();
+            if st.outstanding.is_some() {
+                return Err(XError::Config(format!(
+                    "channel {} already has an outstanding request",
+                    self.chan
+                )));
+            }
+            st.seq = st.seq.wrapping_add(1);
+            let sema = SharedSema::new(0);
+            st.outstanding = Some(Outstanding {
+                seq: st.seq,
+                sema: sema.clone(),
+                reply: None,
+                acked: false,
+                sent_at: ctx.now(),
+            });
+            (st.seq, sema)
+        };
+
+        let boot_id = self.parent.boot_id();
+        let mut hdr = ChannelHdr {
+            flags: flags::REQUEST,
+            channel: self.chan,
+            protocol_num: self.proto_num,
+            sequence_num: seq,
+            error: 0,
+            boot_id,
+        };
+        let timeout = self.step_timeout(ctx, msg.len() + CHANNEL_HDR_LEN);
+        let mut attempts = 0u32;
+        loop {
+            let mut wire = msg.clone();
+            ctx.push_header(&mut wire, &hdr.encode());
+            ctx.charge_layer_call();
+            self.lower.push(ctx, wire)?;
+
+            // Wait for the reply; an explicit ACK re-arms the wait without
+            // counting as a retransmission round.
+            let outcome = loop {
+                let _signalled = sema.p_timeout(ctx, timeout);
+                let mut st = self.st.lock();
+                let out = st
+                    .outstanding
+                    .as_mut()
+                    .expect("outstanding present until we clear it");
+                if let Some(r) = out.reply.take() {
+                    let sent_at = out.sent_at;
+                    st.outstanding = None;
+                    break Some((r, sent_at));
+                }
+                if out.acked {
+                    out.acked = false;
+                    if ctx.mode() == Mode::Inline {
+                        // Inline mode cannot wait again; treat as timeout.
+                        break None;
+                    }
+                    continue; // Server is alive and working: wait again.
+                }
+                break None;
+            };
+            match outcome {
+                Some((Ok(reply), sent_at)) => {
+                    self.parent.observe_rtt(ctx.now().saturating_sub(sent_at));
+                    return Ok(Some(reply));
+                }
+                Some((Err(code), _)) => {
+                    return Err(XError::Remote(format!(
+                        "channel {} request {seq}: server error {code}",
+                        self.chan
+                    )))
+                }
+                None => {}
+            }
+            attempts += 1;
+            if attempts > self.parent.cfg.max_retries || ctx.mode() == Mode::Inline {
+                self.st.lock().outstanding = None;
+                return Err(XError::Timeout(format!(
+                    "channel {} request {seq} to {} after {attempts} attempts",
+                    self.chan, self.peer
+                )));
+            }
+            // Retransmission: ask for an explicit ack so a busy server can
+            // quiet us down.
+            hdr.flags = flags::REQUEST | flags::PLEASE_ACK;
+        }
+    }
+
+    fn control(&self, ctx: &Ctx, op: &ControlOp) -> XResult<ControlRes> {
+        match op {
+            ControlOp::GetPeerHost => Ok(ControlRes::Ip(self.peer)),
+            ControlOp::GetRtt => Ok(ControlRes::U64(self.parent.rtt_estimate())),
+            ControlOp::GetMyBootId => Ok(ControlRes::U32(self.parent.boot_id())),
+            ControlOp::GetPeerBootId => Ok(ControlRes::U32(
+                self.parent.tunables.peer_boot.load(Ordering::Relaxed),
+            )),
+            ControlOp::SetTimeout(ns) => {
+                self.parent
+                    .tunables
+                    .base_timeout_ns
+                    .store(*ns, Ordering::Relaxed);
+                Ok(ControlRes::Done)
+            }
+            other => self.lower.control(ctx, other),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+struct ServerState {
+    last_boot: u32,
+    last_seq: u32,
+    in_progress: Option<u32>,
+    saved_reply: Option<(u32, Message)>,
+}
+
+/// A server channel: tracks at-most-once state for one (peer, channel).
+pub struct ChanServerSession {
+    parent: Arc<Channel>,
+    chan: u16,
+    proto_num: u32,
+    // The lower session replies travel down on; refreshed on each request
+    // so replies follow the path the latest request arrived by.
+    lls: Mutex<SessionRef>,
+    st: Mutex<ServerState>,
+}
+
+impl Session for ChanServerSession {
+    fn protocol_id(&self) -> ProtoId {
+        self.parent.me
+    }
+
+    /// The high-level protocol pushes the *reply* into the server channel.
+    fn push(&self, ctx: &Ctx, msg: Message) -> XResult<Option<Message>> {
+        let seq = {
+            let mut st = self.st.lock();
+            st.in_progress.take().ok_or_else(|| {
+                XError::Config(format!("channel {}: reply without request", self.chan))
+            })?
+        };
+        let hdr = ChannelHdr {
+            flags: flags::REPLY,
+            channel: self.chan,
+            protocol_num: self.proto_num,
+            sequence_num: seq,
+            error: 0,
+            boot_id: self.parent.boot_id(),
+        };
+        let mut wire = msg;
+        ctx.push_header(&mut wire, &hdr.encode());
+        {
+            let mut st = self.st.lock();
+            st.last_seq = seq;
+            // Retain the encoded reply until implicitly acknowledged by the
+            // next request on this channel.
+            st.saved_reply = Some((seq, wire.clone()));
+        }
+        let lls = Arc::clone(&self.lls.lock());
+        ctx.charge_layer_call();
+        lls.push(ctx, wire)?;
+        Ok(None)
+    }
+
+    fn control(&self, ctx: &Ctx, op: &ControlOp) -> XResult<ControlRes> {
+        match op {
+            ControlOp::GetMyBootId => Ok(ControlRes::U32(self.parent.boot_id())),
+            other => {
+                let lls = Arc::clone(&self.lls.lock());
+                lls.control(ctx, other)
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// The CHANNEL protocol object.
+pub struct Channel {
+    weak_self: Weak<Channel>,
+    me: ProtoId,
+    lower: ProtoId,
+    cfg: ChanConfig,
+    tunables: Tunables,
+    lower_name: OnceLock<&'static str>,
+    boot: Mutex<u32>,
+    next_chan: Mutex<u16>,
+    rtt_ewma: Mutex<u64>,
+    enables: Mutex<HashMap<u32, ProtoId>>,
+    clients: Mutex<HashMap<(u16, u32), Arc<ChanClientSession>>>,
+    servers: Mutex<HashMap<(PeerKey, u16, u32), Arc<ChanServerSession>>>,
+}
+
+impl Channel {
+    /// Creates CHANNEL above `lower` (FRAGMENT, a virtual protocol, IP, or
+    /// raw ETH — anything that can move one packet unreliably).
+    pub fn new(me: ProtoId, lower: ProtoId, cfg: ChanConfig) -> Arc<Channel> {
+        Arc::new_cyclic(|weak_self| Channel {
+            weak_self: weak_self.clone(),
+            me,
+            lower,
+            tunables: Tunables {
+                base_timeout_ns: AtomicU64::new(cfg.base_timeout_ns),
+                peer_boot: AtomicU32::new(0),
+            },
+            cfg,
+            lower_name: OnceLock::new(),
+            boot: Mutex::new(0),
+            next_chan: Mutex::new(0),
+            rtt_ewma: Mutex::new(0),
+            enables: Mutex::new(HashMap::new()),
+            clients: Mutex::new(HashMap::new()),
+            servers: Mutex::new(HashMap::new()),
+        })
+    }
+
+    fn self_arc(&self) -> Arc<Channel> {
+        self.weak_self.upgrade().expect("channel alive")
+    }
+
+    /// This kernel's boot incarnation id.
+    pub fn boot_id(&self) -> u32 {
+        *self.boot.lock()
+    }
+
+    /// Overrides the boot id (tests simulate reboot/reincarnation).
+    pub fn set_boot_id(&self, id: u32) {
+        *self.boot.lock() = id;
+    }
+
+    /// Allocates a fresh, kernel-unique channel number.
+    pub fn alloc_channel(&self) -> u16 {
+        let mut c = self.next_chan.lock();
+        *c = c.wrapping_add(1);
+        *c
+    }
+
+    fn observe_rtt(&self, sample: u64) {
+        let mut e = self.rtt_ewma.lock();
+        *e = if *e == 0 {
+            sample
+        } else {
+            (*e * 7 + sample) / 8
+        };
+    }
+
+    /// Smoothed round-trip estimate (virtual ns; 0 until the first reply).
+    pub fn rtt_estimate(&self) -> u64 {
+        *self.rtt_ewma.lock()
+    }
+
+    fn request_in(
+        &self,
+        ctx: &Ctx,
+        lls: &SessionRef,
+        hdr: ChannelHdr,
+        msg: Message,
+    ) -> XResult<()> {
+        let pk = peer_key(ctx, lls)?;
+        ctx.charge(ctx.cost().demux_lookup);
+        let sess = {
+            let mut servers = self.servers.lock();
+            match servers.get(&(pk, hdr.channel, hdr.protocol_num)) {
+                Some(s) => {
+                    *s.lls.lock() = Arc::clone(lls);
+                    Arc::clone(s)
+                }
+                None => {
+                    ctx.charge(ctx.cost().session_create);
+                    let s = Arc::new(ChanServerSession {
+                        parent: self.self_arc(),
+                        chan: hdr.channel,
+                        proto_num: hdr.protocol_num,
+                        lls: Mutex::new(Arc::clone(lls)),
+                        st: Mutex::new(ServerState {
+                            last_boot: hdr.boot_id,
+                            last_seq: 0,
+                            in_progress: None,
+                            saved_reply: None,
+                        }),
+                    });
+                    servers.insert((pk, hdr.channel, hdr.protocol_num), Arc::clone(&s));
+                    drop(servers);
+                    // The open-done upcall: tell the high-level protocol a
+                    // session was passively created on its behalf,
+                    // completing its earlier open_enable.
+                    if let Some(upper) = self.enables.lock().get(&hdr.protocol_num).copied() {
+                        let parts = ParticipantSet::local(
+                            Participant::proto(hdr.protocol_num).with_port(hdr.channel),
+                        );
+                        let sref: SessionRef = Arc::clone(&s) as SessionRef;
+                        ctx.kernel().open_done(ctx, upper, self.me, &sref, &parts)?;
+                    }
+                    s
+                }
+            }
+        };
+
+        enum Action {
+            Deliver,
+            Ack,
+            ResendReply(Message),
+            Drop,
+        }
+        let action = {
+            let mut st = sess.st.lock();
+            if hdr.boot_id != st.last_boot {
+                // Client reincarnated: reset at-most-once state.
+                st.last_boot = hdr.boot_id;
+                st.last_seq = 0;
+                st.in_progress = None;
+                st.saved_reply = None;
+            }
+            if st.in_progress == Some(hdr.sequence_num) {
+                Action::Ack
+            } else if st
+                .saved_reply
+                .as_ref()
+                .is_some_and(|(s, _)| *s == hdr.sequence_num)
+            {
+                let (_, saved) = st.saved_reply.as_ref().expect("checked");
+                Action::ResendReply(saved.clone())
+            } else if hdr.sequence_num <= st.last_seq && st.last_seq != 0 {
+                Action::Drop
+            } else {
+                // New request: implicitly acknowledges the previous reply.
+                st.saved_reply = None;
+                st.in_progress = Some(hdr.sequence_num);
+                Action::Deliver
+            }
+        };
+
+        match action {
+            Action::Drop => Ok(()),
+            Action::Ack => {
+                let ack = ChannelHdr {
+                    flags: flags::ACK,
+                    channel: hdr.channel,
+                    protocol_num: hdr.protocol_num,
+                    sequence_num: hdr.sequence_num,
+                    error: 0,
+                    boot_id: self.boot_id(),
+                };
+                let mut pkt = ctx.empty_msg();
+                ctx.push_header(&mut pkt, &ack.encode());
+                ctx.charge_layer_call();
+                lls.push(ctx, pkt)?;
+                Ok(())
+            }
+            Action::ResendReply(saved) => {
+                ctx.charge_layer_call();
+                lls.push(ctx, saved)?;
+                Ok(())
+            }
+            Action::Deliver => {
+                let upper = self.enables.lock().get(&hdr.protocol_num).copied();
+                match upper {
+                    Some(upper) => {
+                        let sref: SessionRef = sess;
+                        ctx.kernel().demux_to(ctx, upper, &sref, msg)
+                    }
+                    None => {
+                        // No such service: answer with an error reply so the
+                        // client fails fast instead of retransmitting.
+                        sess.st.lock().in_progress = None;
+                        let err = ChannelHdr {
+                            flags: flags::REPLY,
+                            channel: hdr.channel,
+                            protocol_num: hdr.protocol_num,
+                            sequence_num: hdr.sequence_num,
+                            error: 1,
+                            boot_id: self.boot_id(),
+                        };
+                        let mut pkt = ctx.empty_msg();
+                        ctx.push_header(&mut pkt, &err.encode());
+                        ctx.charge_layer_call();
+                        lls.push(ctx, pkt)?;
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+
+    fn reply_or_ack_in(&self, ctx: &Ctx, hdr: ChannelHdr, msg: Message) -> XResult<()> {
+        ctx.charge(ctx.cost().demux_lookup);
+        let client = self
+            .clients
+            .lock()
+            .get(&(hdr.channel, hdr.protocol_num))
+            .cloned();
+        let Some(client) = client else {
+            ctx.trace("channel", || {
+                format!("reply for unknown channel {}", hdr.channel)
+            });
+            return Ok(());
+        };
+        let mut st = client.st.lock();
+        let Some(out) = st.outstanding.as_mut() else {
+            return Ok(()); // Late duplicate; already satisfied.
+        };
+        if out.seq != hdr.sequence_num {
+            return Ok(()); // Stale sequence number.
+        }
+        self.tunables
+            .peer_boot
+            .store(hdr.boot_id, Ordering::Relaxed);
+        if hdr.flags & flags::ACK != 0 {
+            out.acked = true;
+            let sema = out.sema.clone();
+            drop(st);
+            sema.v(ctx);
+            return Ok(());
+        }
+        if out.reply.is_none() {
+            out.reply = Some(if hdr.error != 0 {
+                Err(hdr.error)
+            } else {
+                Ok(msg)
+            });
+            let sema = out.sema.clone();
+            drop(st);
+            sema.v(ctx);
+        }
+        Ok(())
+    }
+}
+
+impl Protocol for Channel {
+    fn name(&self) -> &'static str {
+        "channel"
+    }
+
+    fn id(&self) -> ProtoId {
+        self.me
+    }
+
+    fn boot(&self, ctx: &Ctx) -> XResult<()> {
+        let kernel = ctx.kernel();
+        let lower = kernel.proto(self.lower)?;
+        self.lower_name
+            .set(lower.name())
+            .map_err(|_| XError::Config("channel double boot".into()))?;
+        *self.boot.lock() = (ctx.next_u64() & 0xffff_ffff) as u32 | 1;
+        let parts =
+            ParticipantSet::local(Participant::proto(rel_proto_num(lower.name(), "channel")?));
+        kernel.open_enable(ctx, self.lower, self.me, &parts)
+    }
+
+    fn open(&self, ctx: &Ctx, _upper: ProtoId, parts: &ParticipantSet) -> XResult<SessionRef> {
+        let proto_num = parts
+            .local_part()
+            .and_then(|p| p.proto_num)
+            .ok_or_else(|| XError::Config("channel open needs a protocol number".into()))?;
+        let peer = parts
+            .remote_part()
+            .and_then(|p| p.host)
+            .ok_or_else(|| XError::Config("channel open needs a peer host".into()))?;
+        let chan = match parts.local_part().and_then(|p| p.port) {
+            Some(c) => c,
+            None => self.alloc_channel(),
+        };
+        if let Some(s) = self.clients.lock().get(&(chan, proto_num)) {
+            return Ok(Arc::clone(s) as SessionRef);
+        }
+        ctx.charge(ctx.cost().session_create);
+        let lname = self.lower_name.get().expect("channel booted");
+        let lparts = ParticipantSet::pair(
+            Participant::proto(rel_proto_num(lname, "channel")?),
+            Participant::host(peer),
+        );
+        let lower = ctx.kernel().open(ctx, self.lower, self.me, &lparts)?;
+        let s = Arc::new(ChanClientSession {
+            parent: self.self_arc(),
+            chan,
+            proto_num,
+            peer,
+            lower,
+            st: Mutex::new(ClientState {
+                seq: 0,
+                outstanding: None,
+            }),
+        });
+        self.clients
+            .lock()
+            .insert((chan, proto_num), Arc::clone(&s));
+        Ok(s)
+    }
+
+    fn open_enable(&self, _ctx: &Ctx, upper: ProtoId, parts: &ParticipantSet) -> XResult<()> {
+        let proto_num = parts
+            .local_part()
+            .and_then(|p| p.proto_num)
+            .ok_or_else(|| XError::Config("channel enable needs a protocol number".into()))?;
+        self.enables.lock().insert(proto_num, upper);
+        Ok(())
+    }
+
+    fn demux(&self, ctx: &Ctx, lls: &SessionRef, mut msg: Message) -> XResult<()> {
+        let bytes = ctx.pop_header(&mut msg, CHANNEL_HDR_LEN)?;
+        let hdr = ChannelHdr::decode(&bytes)?;
+        drop(bytes);
+        if hdr.flags & flags::REQUEST != 0 {
+            self.request_in(ctx, lls, hdr, msg)
+        } else {
+            self.reply_or_ack_in(ctx, hdr, msg)
+        }
+    }
+
+    fn control(&self, ctx: &Ctx, op: &ControlOp) -> XResult<ControlRes> {
+        match op {
+            // Asked by VIP: CHANNEL adds one header to whatever its user
+            // pushes, and its users (SELECT) keep requests within one packet
+            // when FRAGMENT is not below.
+            ControlOp::GetMaxMsgSize => Ok(ControlRes::Size(1500)),
+            ControlOp::GetMyBootId => Ok(ControlRes::U32(self.boot_id())),
+            ControlOp::GetRtt => Ok(ControlRes::U64(self.rtt_estimate())),
+            ControlOp::GetFragCount(n) => {
+                ctx.kernel()
+                    .control(ctx, self.lower, &ControlOp::GetFragCount(*n))
+            }
+            ControlOp::GetMaxPacket => {
+                let r = ctx
+                    .kernel()
+                    .control(ctx, self.lower, &ControlOp::GetMaxPacket)?;
+                Ok(ControlRes::Size(r.size()?.saturating_sub(CHANNEL_HDR_LEN)))
+            }
+            _ => Err(XError::Unsupported("channel control")),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

@@ -1,0 +1,630 @@
+//! FRAGMENT — unreliable but *persistent* bulk transfer.
+//!
+//! The bottom layer of the layered Sprite RPC decomposition, designed to be
+//! reusable ("a bulk transfer protocol that can be reused by other
+//! protocols", e.g. Psync and the Sun RPC recomposition):
+//!
+//! * Each message pushed through FRAGMENT gets a unique sequence number, is
+//!   split into ≤16 fragments (one bit each in the 16-bit `frag_mask`), and
+//!   is transmitted with a copy retained by the sender.
+//! * **Unreliable**: messages may arrive out of order, duplicated, or not at
+//!   all; the receiver *never* sends a positive acknowledgement. That
+//!   choice — made precisely so Psync could reuse the layer — is the
+//!   paper's worked example of choosing decomposition semantics.
+//! * **Persistent**: a receiver that detects missing fragments (a gap timer
+//!   after the last arrival) sends a NACK naming the missing bits, and the
+//!   sender retransmits just those fragments from its retained copy.
+//! * The sender discards its copy on a timer; a higher-level retransmission
+//!   arriving later is a *new* FRAGMENT message with a new sequence number.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
+
+use parking_lot::Mutex;
+
+use xkernel::prelude::*;
+use xkernel::sim::Nanos;
+
+use crate::hdr::{frag_type, FragmentHdr, FRAGMENT_HDR_LEN};
+use crate::protnum::rel_proto_num;
+
+/// Maximum fragments per message (one bit each in `frag_mask`).
+pub const MAX_FRAGS: usize = 16;
+
+/// Tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct FragConfig {
+    /// How long the sender retains a transmitted message for NACK service.
+    pub discard_ns: Nanos,
+    /// Receiver gap timer: how long after the most recent fragment before
+    /// concluding some are missing.
+    pub gap_ns: Nanos,
+    /// How many NACKs to send before giving up on an incomplete message.
+    pub nack_retries: u32,
+    /// Bound on retained messages (protects inline mode, where discard
+    /// timers never fire).
+    pub cache_cap: usize,
+}
+
+impl Default for FragConfig {
+    fn default() -> FragConfig {
+        FragConfig {
+            discard_ns: 500_000_000,
+            gap_ns: 10_000_000,
+            nack_retries: 4,
+            cache_cap: 64,
+        }
+    }
+}
+
+/// Cumulative traffic counters (tests and benchmarks).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FragStats {
+    /// Messages pushed through FRAGMENT by upper protocols.
+    pub messages_sent: u64,
+    /// Data fragments put on the wire (including NACK-driven resends).
+    pub fragments_sent: u64,
+    /// Complete messages delivered upward.
+    pub messages_delivered: u64,
+    /// NACKs this host sent (missing-fragment requests).
+    pub nacks_sent: u64,
+    /// NACKs this host received and serviced.
+    pub nacks_received: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    messages_sent: AtomicU64,
+    fragments_sent: AtomicU64,
+    messages_delivered: AtomicU64,
+    nacks_sent: AtomicU64,
+    nacks_received: AtomicU64,
+}
+
+struct Saved {
+    msg: Message,
+    dst: IpAddr,
+    proto_num: u32,
+    num_frags: u16,
+    frag_size: usize,
+}
+
+struct Rasm {
+    num_frags: u16,
+    have_mask: u16,
+    proto_num: u32,
+    total_len: u16,
+    parts: Vec<Option<Message>>,
+    nacks_left: u32,
+    timer_armed: bool,
+    /// When the most recent fragment arrived: a gap is only declared after
+    /// the wire has been quiet for the full gap interval, so a long
+    /// transmission still in progress is never NACKed.
+    last_arrival: u64,
+}
+
+/// The FRAGMENT protocol object.
+pub struct Fragment {
+    weak_self: Weak<Fragment>,
+    me: ProtoId,
+    lower: ProtoId,
+    cfg: FragConfig,
+    my_ip: OnceLock<IpAddr>,
+    lower_name: OnceLock<&'static str>,
+    base_frag_size: OnceLock<usize>,
+    next_seq: Mutex<u32>,
+    enables: Mutex<HashMap<u32, ProtoId>>,
+    // Retained sent messages, insertion-ordered for LRU eviction.
+    send_cache: Mutex<Vec<(u32, Saved)>>,
+    rasm: Mutex<HashMap<(u32, u32), Rasm>>,
+    passive: Mutex<HashMap<(u32, u32), SessionRef>>,
+    lowers: Mutex<HashMap<u32, (SessionRef, usize)>>,
+    counters: Counters,
+}
+
+impl Fragment {
+    /// Creates FRAGMENT above `lower` (an IP-addressed delivery protocol:
+    /// IP, VIP, or VIPADDR).
+    pub fn new(me: ProtoId, lower: ProtoId, cfg: FragConfig) -> Arc<Fragment> {
+        Arc::new_cyclic(|weak_self| Fragment {
+            weak_self: weak_self.clone(),
+            me,
+            lower,
+            cfg,
+            my_ip: OnceLock::new(),
+            lower_name: OnceLock::new(),
+            base_frag_size: OnceLock::new(),
+            next_seq: Mutex::new(0),
+            enables: Mutex::new(HashMap::new()),
+            send_cache: Mutex::new(Vec::new()),
+            rasm: Mutex::new(HashMap::new()),
+            passive: Mutex::new(HashMap::new()),
+            lowers: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+        })
+    }
+
+    fn self_arc(&self) -> Arc<Fragment> {
+        self.weak_self.upgrade().expect("fragment alive")
+    }
+
+    fn my_ip(&self) -> IpAddr {
+        *self.my_ip.get().expect("fragment booted")
+    }
+
+    fn my_rel_num(&self) -> XResult<u32> {
+        rel_proto_num(self.lower_name.get().expect("fragment booted"), "fragment")
+    }
+
+    /// The lower session (and its fragment payload size) towards `peer`.
+    fn lower_for(&self, ctx: &Ctx, peer: IpAddr) -> XResult<(SessionRef, usize)> {
+        if let Some(hit) = self.lowers.lock().get(&peer.0) {
+            return Ok(hit.clone());
+        }
+        let parts = ParticipantSet::pair(
+            Participant::proto(self.my_rel_num()?),
+            Participant::host(peer),
+        );
+        let sess = ctx.kernel().open(ctx, self.lower, self.me, &parts)?;
+        let opt = sess
+            .control(ctx, &ControlOp::GetOptPacket)
+            .and_then(|r| r.size())
+            .unwrap_or(1500);
+        let frag_size = opt - FRAGMENT_HDR_LEN;
+        self.lowers
+            .lock()
+            .insert(peer.0, (Arc::clone(&sess), frag_size));
+        Ok((sess, frag_size))
+    }
+
+    /// Splits `msg` (zero-copy) into its fragments under `frag_size`.
+    fn split(msg: &Message, frag_size: usize) -> Vec<Message> {
+        let mut rest = msg.clone();
+        let mut out = Vec::new();
+        while rest.len() > frag_size {
+            let tail = rest
+                .split_off(frag_size)
+                .expect("split within checked length");
+            out.push(std::mem::replace(&mut rest, tail));
+        }
+        out.push(rest);
+        out
+    }
+
+    /// Transmits the fragments of `saved` selected by `mask`.
+    fn transmit(
+        &self,
+        ctx: &Ctx,
+        lower: &SessionRef,
+        saved: &Saved,
+        seq: u32,
+        mask: u16,
+    ) -> XResult<()> {
+        let frags = Self::split(&saved.msg, saved.frag_size);
+        for (i, frag) in frags.into_iter().enumerate() {
+            if mask & (1 << i) == 0 {
+                continue;
+            }
+            let hdr = FragmentHdr {
+                typ: frag_type::DATA,
+                clnt_host: self.my_ip(),
+                srvr_host: saved.dst,
+                protocol_num: saved.proto_num,
+                sequence_num: seq,
+                num_frags: saved.num_frags,
+                frag_mask: 1 << i,
+                len: saved.msg.len() as u16,
+            };
+            let mut pkt = frag;
+            ctx.push_header(&mut pkt, &hdr.encode());
+            ctx.charge_layer_call();
+            self.counters.fragments_sent.fetch_add(1, Ordering::Relaxed);
+            lower.push(ctx, pkt)?;
+        }
+        Ok(())
+    }
+
+    /// Sends `msg` to `peer` on behalf of high-level protocol `proto_num`.
+    fn send(&self, ctx: &Ctx, peer: IpAddr, proto_num: u32, msg: Message) -> XResult<()> {
+        let (lower, frag_size) = self.lower_for(ctx, peer)?;
+        let num_frags = msg.len().max(1).div_ceil(frag_size);
+        if num_frags > MAX_FRAGS {
+            return Err(XError::TooBig {
+                size: msg.len(),
+                max: MAX_FRAGS * frag_size,
+            });
+        }
+        let seq = {
+            let mut s = self.next_seq.lock();
+            *s = s.wrapping_add(1);
+            *s
+        };
+        self.counters.messages_sent.fetch_add(1, Ordering::Relaxed);
+        // Sequence allocation + retained-copy bookkeeping.
+        ctx.charge(ctx.cost().demux_lookup);
+        let saved = Saved {
+            msg,
+            dst: peer,
+            proto_num,
+            num_frags: num_frags as u16,
+            frag_size,
+        };
+        let full_mask = if num_frags == 16 {
+            u16::MAX
+        } else {
+            (1u16 << num_frags) - 1
+        };
+        self.transmit(ctx, &lower, &saved, seq, full_mask)?;
+
+        // Retain a copy for NACK service, bounded and timed.
+        {
+            let mut cache = self.send_cache.lock();
+            cache.push((seq, saved));
+            let cap = self.cfg.cache_cap;
+            if cache.len() > cap {
+                let excess = cache.len() - cap;
+                cache.drain(..excess);
+            }
+        }
+        let parent = self.self_arc();
+        ctx.schedule_after(self.cfg.discard_ns, move |_tctx| {
+            parent.send_cache.lock().retain(|(s, _)| *s != seq);
+        });
+        Ok(())
+    }
+
+    fn deliver_up(&self, ctx: &Ctx, from: IpAddr, proto_num: u32, msg: Message) -> XResult<()> {
+        self.counters
+            .messages_delivered
+            .fetch_add(1, Ordering::Relaxed);
+        ctx.charge(ctx.cost().demux_lookup);
+        let upper = self
+            .enables
+            .lock()
+            .get(&proto_num)
+            .copied()
+            .ok_or_else(|| XError::NoEnable(format!("fragment proto {proto_num}")))?;
+        let sess = {
+            let mut cache = self.passive.lock();
+            match cache.get(&(from.0, proto_num)) {
+                Some(s) => Arc::clone(s),
+                None => {
+                    ctx.charge(ctx.cost().session_create);
+                    let s: SessionRef = Arc::new(FragSession {
+                        parent: self.self_arc(),
+                        peer: from,
+                        proto_num,
+                    });
+                    cache.insert((from.0, proto_num), Arc::clone(&s));
+                    s
+                }
+            }
+        };
+        ctx.kernel().demux_to(ctx, upper, &sess, msg)
+    }
+
+    fn arm_gap_timer(&self, ctx: &Ctx, key: (u32, u32)) {
+        let parent = self.self_arc();
+        ctx.schedule_after(self.cfg.gap_ns, move |tctx| {
+            parent.on_gap_timer(tctx, key);
+        });
+    }
+
+    fn on_gap_timer(&self, ctx: &Ctx, key: (u32, u32)) {
+        let nack = {
+            let mut rasm = self.rasm.lock();
+            let Some(ent) = rasm.get_mut(&key) else {
+                return; // Completed meanwhile.
+            };
+            ent.timer_armed = false;
+            // Fragments still flowing: not a gap, just a long message.
+            if ctx.now().saturating_sub(ent.last_arrival) < self.cfg.gap_ns {
+                ent.timer_armed = true;
+                drop(rasm);
+                self.arm_gap_timer(ctx, key);
+                return;
+            }
+            let full = if ent.num_frags as usize == 16 {
+                u16::MAX
+            } else {
+                (1u16 << ent.num_frags) - 1
+            };
+            let missing = full & !ent.have_mask;
+            if missing == 0 {
+                return;
+            }
+            if ent.nacks_left == 0 {
+                rasm.remove(&key);
+                ctx.trace("fragment", || {
+                    format!("gave up on message {key:?} (persistence exhausted)")
+                });
+                return;
+            }
+            ent.nacks_left -= 1;
+            ent.timer_armed = true;
+            Some((ent.proto_num, ent.num_frags, missing, ent.total_len))
+        };
+        if let Some((proto_num, num_frags, missing, len)) = nack {
+            let from = IpAddr(key.0);
+            let hdr = FragmentHdr {
+                typ: frag_type::NACK,
+                clnt_host: from,
+                srvr_host: self.my_ip(),
+                protocol_num: proto_num,
+                sequence_num: key.1,
+                num_frags,
+                frag_mask: missing,
+                len,
+            };
+            if let Ok((lower, _)) = self.lower_for(ctx, from) {
+                let mut pkt = ctx.empty_msg();
+                ctx.push_header(&mut pkt, &hdr.encode());
+                ctx.charge_layer_call();
+                self.counters.nacks_sent.fetch_add(1, Ordering::Relaxed);
+                if let Err(e) = lower.push(ctx, pkt) {
+                    ctx.trace("fragment", || format!("nack send failed: {e}"));
+                }
+            }
+            self.arm_gap_timer(ctx, key);
+        }
+    }
+
+    fn data_in(&self, ctx: &Ctx, hdr: FragmentHdr, mut msg: Message) -> XResult<()> {
+        // Single-fragment fast path: no state, no timers. Trim any
+        // link-level padding with the header's total-length field.
+        if hdr.num_frags <= 1 {
+            msg.truncate(usize::from(hdr.len));
+            return self.deliver_up(ctx, hdr.clnt_host, hdr.protocol_num, msg);
+        }
+        let key = (hdr.clnt_host.0, hdr.sequence_num);
+        let complete = {
+            let mut rasm = self.rasm.lock();
+            let ent = rasm.entry(key).or_insert_with(|| Rasm {
+                num_frags: hdr.num_frags,
+                have_mask: 0,
+                proto_num: hdr.protocol_num,
+                total_len: hdr.len,
+                parts: (0..hdr.num_frags).map(|_| None).collect(),
+                nacks_left: self.cfg.nack_retries,
+                timer_armed: false,
+                last_arrival: 0,
+            });
+            ent.last_arrival = ctx.now();
+            let idx = hdr.frag_mask.trailing_zeros() as usize;
+            if idx >= ent.parts.len() {
+                return Ok(()); // Corrupt index; drop.
+            }
+            if ent.parts[idx].is_none() {
+                ent.parts[idx] = Some(msg);
+                ent.have_mask |= 1 << idx;
+            }
+            let full = if ent.num_frags as usize == 16 {
+                u16::MAX
+            } else {
+                (1u16 << ent.num_frags) - 1
+            };
+            if ent.have_mask == full {
+                let parts = std::mem::take(&mut ent.parts);
+                let proto = ent.proto_num;
+                rasm.remove(&key);
+                Some((proto, parts))
+            } else {
+                if !ent.timer_armed {
+                    ent.timer_armed = true;
+                    drop(rasm);
+                    self.arm_gap_timer(ctx, key);
+                }
+                None
+            }
+        };
+        match complete {
+            Some((proto, parts)) => {
+                let mut whole = Message::concat(parts.into_iter().flatten());
+                // Only the final fragment can carry pad bytes, and they sit
+                // at the very end of the reassembled message.
+                whole.truncate(usize::from(hdr.len));
+                self.deliver_up(ctx, hdr.clnt_host, proto, whole)
+            }
+            None => Ok(()),
+        }
+    }
+
+    fn nack_in(&self, ctx: &Ctx, hdr: FragmentHdr) -> XResult<()> {
+        self.counters.nacks_received.fetch_add(1, Ordering::Relaxed);
+        let seq = hdr.sequence_num;
+        let found = {
+            let cache = self.send_cache.lock();
+            cache.iter().any(|(s, _)| *s == seq)
+        };
+        if !found {
+            // Already discarded: the higher-level protocol's own timeout
+            // will resend the whole message under a new sequence number.
+            ctx.trace("fragment", || format!("nack for discarded seq {seq}"));
+            return Ok(());
+        }
+        // Retransmit the missing fragments from the retained copy.
+        let (dst, mask) = {
+            let cache = self.send_cache.lock();
+            let (_, saved) = cache
+                .iter()
+                .find(|(s, _)| *s == seq)
+                .expect("checked above");
+            (saved.dst, hdr.frag_mask)
+        };
+        let (lower, _) = self.lower_for(ctx, dst)?;
+        let cache = self.send_cache.lock();
+        if let Some((_, saved)) = cache.iter().find(|(s, _)| *s == seq) {
+            // Rebuild fragment list and send the requested ones. We must not
+            // hold the cache lock across pushes — clone the needed state.
+            let saved_copy = Saved {
+                msg: saved.msg.clone(),
+                dst: saved.dst,
+                proto_num: saved.proto_num,
+                num_frags: saved.num_frags,
+                frag_size: saved.frag_size,
+            };
+            drop(cache);
+            self.transmit(ctx, &lower, &saved_copy, seq, mask)?;
+        }
+        Ok(())
+    }
+
+    /// Observable state for tests: retained send-cache size.
+    pub fn retained(&self) -> usize {
+        self.send_cache.lock().len()
+    }
+
+    /// Cumulative traffic counters.
+    pub fn stats(&self) -> FragStats {
+        FragStats {
+            messages_sent: self.counters.messages_sent.load(Ordering::Relaxed),
+            fragments_sent: self.counters.fragments_sent.load(Ordering::Relaxed),
+            messages_delivered: self.counters.messages_delivered.load(Ordering::Relaxed),
+            nacks_sent: self.counters.nacks_sent.load(Ordering::Relaxed),
+            nacks_received: self.counters.nacks_received.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Observable state for tests: open reassembly buffers.
+    pub fn reassembling(&self) -> usize {
+        self.rasm.lock().len()
+    }
+}
+
+/// A FRAGMENT session towards one (peer, high-level protocol).
+pub struct FragSession {
+    parent: Arc<Fragment>,
+    peer: IpAddr,
+    proto_num: u32,
+}
+
+impl Session for FragSession {
+    fn protocol_id(&self) -> ProtoId {
+        self.parent.me
+    }
+
+    fn push(&self, ctx: &Ctx, msg: Message) -> XResult<Option<Message>> {
+        self.parent.send(ctx, self.peer, self.proto_num, msg)?;
+        Ok(None)
+    }
+
+    fn control(&self, ctx: &Ctx, op: &ControlOp) -> XResult<ControlRes> {
+        match op {
+            ControlOp::GetMaxPacket => {
+                let (_, frag_size) = self.parent.lower_for(ctx, self.peer)?;
+                Ok(ControlRes::Size(MAX_FRAGS * frag_size))
+            }
+            ControlOp::GetOptPacket => {
+                let (_, frag_size) = self.parent.lower_for(ctx, self.peer)?;
+                Ok(ControlRes::Size(frag_size))
+            }
+            ControlOp::GetFragCount(size) => {
+                let (_, frag_size) = self.parent.lower_for(ctx, self.peer)?;
+                Ok(ControlRes::Size(size.max(&1).div_ceil(frag_size)))
+            }
+            ControlOp::GetPeerHost => Ok(ControlRes::Ip(self.peer)),
+            ControlOp::GetMyHost => Ok(ControlRes::Ip(self.parent.my_ip())),
+            _ => Err(XError::Unsupported("fragment session control")),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+impl Protocol for Fragment {
+    fn name(&self) -> &'static str {
+        "fragment"
+    }
+
+    fn id(&self) -> ProtoId {
+        self.me
+    }
+
+    fn boot(&self, ctx: &Ctx) -> XResult<()> {
+        let kernel = ctx.kernel();
+        let lower = kernel.proto(self.lower)?;
+        self.lower_name
+            .set(lower.name())
+            .map_err(|_| XError::Config("fragment double boot".into()))?;
+        let my_ip = lower.control(ctx, &ControlOp::GetMyHost)?.ip()?;
+        self.my_ip
+            .set(my_ip)
+            .map_err(|_| XError::Config("fragment double boot".into()))?;
+        let opt = lower
+            .control(ctx, &ControlOp::GetOptPacket)
+            .and_then(|r| r.size())
+            .unwrap_or(1500);
+        let _ = self.base_frag_size.set(opt - FRAGMENT_HDR_LEN);
+        // Receive our own packets.
+        let parts = ParticipantSet::local(Participant::proto(self.my_rel_num()?));
+        kernel.open_enable(ctx, self.lower, self.me, &parts)
+    }
+
+    fn open(&self, ctx: &Ctx, _upper: ProtoId, parts: &ParticipantSet) -> XResult<SessionRef> {
+        let proto_num = parts
+            .local_part()
+            .and_then(|p| p.proto_num)
+            .ok_or_else(|| XError::Config("fragment open needs a protocol number".into()))?;
+        let peer = parts
+            .remote_part()
+            .and_then(|p| p.host)
+            .ok_or_else(|| XError::Config("fragment open needs a peer host".into()))?;
+        ctx.charge(ctx.cost().session_create);
+        Ok(Arc::new(FragSession {
+            parent: self.self_arc(),
+            peer,
+            proto_num,
+        }))
+    }
+
+    fn open_enable(&self, _ctx: &Ctx, upper: ProtoId, parts: &ParticipantSet) -> XResult<()> {
+        let proto_num = parts
+            .local_part()
+            .and_then(|p| p.proto_num)
+            .ok_or_else(|| XError::Config("fragment enable needs a protocol number".into()))?;
+        self.enables.lock().insert(proto_num, upper);
+        Ok(())
+    }
+
+    fn demux(&self, ctx: &Ctx, _lls: &SessionRef, mut msg: Message) -> XResult<()> {
+        let bytes = ctx.pop_header(&mut msg, FRAGMENT_HDR_LEN)?;
+        let hdr = FragmentHdr::decode(&bytes)?;
+        drop(bytes);
+        match hdr.typ {
+            frag_type::DATA => self.data_in(ctx, hdr, msg),
+            frag_type::NACK => self.nack_in(ctx, hdr),
+            other => {
+                ctx.trace("fragment", || format!("unknown type {other}"));
+                Ok(())
+            }
+        }
+    }
+
+    fn control(&self, ctx: &Ctx, op: &ControlOp) -> XResult<ControlRes> {
+        let frag_size = *self
+            .base_frag_size
+            .get()
+            .unwrap_or(&(1500 - FRAGMENT_HDR_LEN));
+        match op {
+            ControlOp::GetMaxPacket => Ok(ControlRes::Size(MAX_FRAGS * frag_size)),
+            ControlOp::GetOptPacket => Ok(ControlRes::Size(frag_size)),
+            ControlOp::GetFragCount(size) => Ok(ControlRes::Size(size.max(&1).div_ceil(frag_size))),
+            // Asked by VIP: FRAGMENT never pushes more than one lower packet
+            // at a time (it has its own fragmentation).
+            ControlOp::GetMaxMsgSize => Ok(ControlRes::Size(frag_size + FRAGMENT_HDR_LEN)),
+            ControlOp::GetMyHost => Ok(ControlRes::Ip(self.my_ip())),
+            _ => {
+                let _ = ctx;
+                Err(XError::Unsupported("fragment control"))
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

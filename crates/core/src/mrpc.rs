@@ -1,0 +1,745 @@
+//! M_RPC — monolithic Sprite RPC.
+//!
+//! One protocol doing everything the SELECT/CHANNEL/FRAGMENT stack does —
+//! procedure dispatch, fixed channels with at-most-once semantics and
+//! implicit acknowledgement, and built-in fragmentation with partial
+//! retransmission — behind the single 36-byte header from the paper's
+//! appendix. Semantically equivalent to the layered version (L_RPC) but a
+//! different wire protocol; the two cannot interoperate, exactly as the
+//! paper notes.
+//!
+//! The implicit-acknowledgement scheme is Sprite's: a reply acknowledges
+//! the request it answers, a new request on a channel acknowledges the
+//! previous reply, explicit ACKs (carrying the received-fragment mask) are
+//! only elicited by retransmissions, and boot ids guard at-most-once across
+//! reincarnations. Requests and replies up to 16 fragments are fragmented
+//! and re-assembled inside this one protocol; an ACK's `frag_mask` lets the
+//! client retransmit only the fragments the server is missing.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, Weak};
+
+use parking_lot::{Mutex, RwLock};
+
+use xkernel::prelude::*;
+use xkernel::sim::Nanos;
+
+use crate::hdr::{flags, SpriteHdr, SPRITE_HDR_LEN};
+use crate::protnum::rel_proto_num;
+use crate::select::Handler;
+
+/// Maximum fragments per message (16-bit mask).
+pub const MAX_FRAGS: usize = 16;
+
+/// Tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct MrpcConfig {
+    /// Fixed client channel set per server host.
+    pub channels_per_peer: usize,
+    /// Timeout for single-fragment requests.
+    pub base_timeout_ns: Nanos,
+    /// Extra wait per additional fragment in flight.
+    pub per_frag_ns: Nanos,
+    /// Retransmission rounds before giving up.
+    pub max_retries: u32,
+}
+
+impl Default for MrpcConfig {
+    fn default() -> MrpcConfig {
+        MrpcConfig {
+            channels_per_peer: 8,
+            base_timeout_ns: 100_000_000,
+            per_frag_ns: 25_000_000,
+            max_retries: 8,
+        }
+    }
+}
+
+fn full_mask(n: u16) -> u16 {
+    if n as usize >= 16 {
+        u16::MAX
+    } else {
+        (1u16 << n) - 1
+    }
+}
+
+/// Splits a message into `frag_size` pieces (zero-copy).
+fn split(msg: &Message, frag_size: usize) -> Vec<Message> {
+    let mut rest = msg.clone();
+    let mut out = Vec::new();
+    while rest.len() > frag_size {
+        let tail = rest.split_off(frag_size).expect("in-range split");
+        out.push(std::mem::replace(&mut rest, tail));
+    }
+    out.push(rest);
+    out
+}
+
+struct Outstanding {
+    seq: u32,
+    sema: SharedSema,
+    reply_frags: Vec<Option<Message>>,
+    reply_mask: u16,
+    reply_num: u16,
+    done: Option<Message>,
+    // Server-acknowledged request fragments (from an explicit ACK).
+    server_has: u16,
+    acked: bool,
+}
+
+struct MChanState {
+    seq: u32,
+    out: Option<Outstanding>,
+}
+
+/// One client channel.
+struct MChan {
+    chan: u16,
+    st: Mutex<MChanState>,
+}
+
+struct Pool {
+    sema: SharedSema,
+    free: Mutex<Vec<Arc<MChan>>>,
+}
+
+struct ServerState {
+    last_boot: u32,
+    last_seq: u32,
+    in_progress: Option<u32>,
+    req_num: u16,
+    req_mask: u16,
+    req_parts: Vec<Option<Message>>,
+    saved_reply_seq: u32,
+    saved_reply: Vec<Message>,
+}
+
+struct MServer {
+    clnt: IpAddr,
+    chan: u16,
+    st: Mutex<ServerState>,
+}
+
+/// The monolithic Sprite RPC protocol object.
+pub struct Mrpc {
+    weak_self: Weak<Mrpc>,
+    me: ProtoId,
+    lower: ProtoId,
+    /// ARP capability, required when `lower` is raw ETH: monolithic Sprite
+    /// RPC identifies hosts by internet address even on the bare wire, so it
+    /// performs the same IP→hardware mapping VIP does.
+    arp: Option<ProtoId>,
+    cfg: MrpcConfig,
+    lower_name: OnceLock<&'static str>,
+    my_ip: OnceLock<IpAddr>,
+    boot: Mutex<u32>,
+    next_chan: Mutex<u16>,
+    handlers: RwLock<HashMap<u16, Handler>>,
+    pools: Mutex<HashMap<u32, Arc<Pool>>>,
+    chans: Mutex<HashMap<u16, Arc<MChan>>>,
+    servers: Mutex<HashMap<(u32, u16), Arc<MServer>>>,
+    sessions: Mutex<HashMap<(u32, u16), SessionRef>>,
+    lowers: Mutex<HashMap<u32, (SessionRef, usize)>>,
+}
+
+impl Mrpc {
+    /// Creates monolithic Sprite RPC above `lower` (raw ETH, IP, or VIP).
+    /// `arp` is required when `lower` is raw ETH.
+    pub fn new(me: ProtoId, lower: ProtoId, arp: Option<ProtoId>, cfg: MrpcConfig) -> Arc<Mrpc> {
+        Arc::new_cyclic(|weak_self| Mrpc {
+            weak_self: weak_self.clone(),
+            me,
+            lower,
+            arp,
+            cfg,
+            lower_name: OnceLock::new(),
+            my_ip: OnceLock::new(),
+            boot: Mutex::new(0),
+            next_chan: Mutex::new(0),
+            handlers: RwLock::new(HashMap::new()),
+            pools: Mutex::new(HashMap::new()),
+            chans: Mutex::new(HashMap::new()),
+            servers: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(HashMap::new()),
+            lowers: Mutex::new(HashMap::new()),
+        })
+    }
+
+    fn self_arc(&self) -> Arc<Mrpc> {
+        self.weak_self.upgrade().expect("mrpc alive")
+    }
+
+    fn my_ip(&self) -> IpAddr {
+        *self.my_ip.get().expect("mrpc booted")
+    }
+
+    /// This kernel's boot incarnation.
+    pub fn boot_id(&self) -> u32 {
+        *self.boot.lock()
+    }
+
+    /// Overrides the boot id (tests simulate reincarnation).
+    pub fn set_boot_id(&self, id: u32) {
+        *self.boot.lock() = id;
+    }
+
+    /// Registers the procedure for `command`.
+    pub fn serve<F>(&self, command: u16, f: F)
+    where
+        F: Fn(&Ctx, Message) -> XResult<Message> + Send + Sync + 'static,
+    {
+        self.handlers.write().insert(command, Box::new(f));
+    }
+
+    fn lower_for(&self, ctx: &Ctx, peer: IpAddr) -> XResult<(SessionRef, usize)> {
+        if let Some(hit) = self.lowers.lock().get(&peer.0) {
+            return Ok(hit.clone());
+        }
+        let lname = self.lower_name.get().expect("mrpc booted");
+        let mut remote = Participant::host(peer);
+        if *lname == "eth" {
+            // Raw Ethernet below: map the peer's internet address to its
+            // hardware address, exactly as VIP does.
+            let arp = self.arp.ok_or_else(|| {
+                XError::Config("sprite over raw eth needs an arp capability".into())
+            })?;
+            let hw = ctx
+                .kernel()
+                .control(ctx, arp, &ControlOp::Resolve(peer))?
+                .eth()?;
+            remote = remote.with_eth(hw);
+        }
+        let parts =
+            ParticipantSet::pair(Participant::proto(rel_proto_num(lname, "sprite")?), remote);
+        let sess = ctx.kernel().open(ctx, self.lower, self.me, &parts)?;
+        let opt = sess
+            .control(ctx, &ControlOp::GetOptPacket)
+            .and_then(|r| r.size())
+            .unwrap_or(1500);
+        let frag_size = opt - SPRITE_HDR_LEN;
+        self.lowers
+            .lock()
+            .insert(peer.0, (Arc::clone(&sess), frag_size));
+        Ok((sess, frag_size))
+    }
+
+    fn pool_for(&self, ctx: &Ctx, peer: IpAddr) -> XResult<Arc<Pool>> {
+        if let Some(p) = self.pools.lock().get(&peer.0) {
+            return Ok(Arc::clone(p));
+        }
+        let mut chans = Vec::with_capacity(self.cfg.channels_per_peer);
+        for _ in 0..self.cfg.channels_per_peer {
+            let chan = {
+                let mut c = self.next_chan.lock();
+                *c = c.wrapping_add(1);
+                *c
+            };
+            let mc = Arc::new(MChan {
+                chan,
+                st: Mutex::new(MChanState { seq: 0, out: None }),
+            });
+            self.chans.lock().insert(chan, Arc::clone(&mc));
+            chans.push(mc);
+            ctx.charge(ctx.cost().session_create);
+        }
+        let pool = Arc::new(Pool {
+            sema: SharedSema::new(self.cfg.channels_per_peer as i64),
+            free: Mutex::new(chans),
+        });
+        Ok(Arc::clone(self.pools.lock().entry(peer.0).or_insert(pool)))
+    }
+
+    /// Sends the fragments of `msg` selected by `mask`.
+    #[allow(clippy::too_many_arguments)]
+    fn send_frags(
+        &self,
+        ctx: &Ctx,
+        lower: &SessionRef,
+        frag_size: usize,
+        base: &SpriteHdr,
+        msg: &Message,
+        mask: u16,
+    ) -> XResult<()> {
+        let frags = split(msg, frag_size);
+        for (i, frag) in frags.into_iter().enumerate() {
+            if mask & (1 << i) == 0 {
+                continue;
+            }
+            let mut hdr = *base;
+            hdr.frag_mask = 1 << i;
+            // The dual data-size/offset fields carry this packet's payload
+            // extent, which is what lets Sprite RPC trim link-level padding
+            // (the appendix notes the layered version doesn't need them).
+            hdr.data1_sz = frag.len() as u16;
+            hdr.data1_offset = (i * frag_size) as u16;
+            let mut pkt = frag;
+            ctx.push_header(&mut pkt, &hdr.encode());
+            ctx.charge_layer_call();
+            lower.push(ctx, pkt)?;
+        }
+        Ok(())
+    }
+
+    /// The full client call path.
+    fn call(&self, ctx: &Ctx, peer: IpAddr, command: u16, args: Message) -> XResult<Message> {
+        let (lower, frag_size) = self.lower_for(ctx, peer)?;
+        let num_frags = args.len().max(1).div_ceil(frag_size);
+        if num_frags > MAX_FRAGS {
+            return Err(XError::TooBig {
+                size: args.len(),
+                max: MAX_FRAGS * frag_size,
+            });
+        }
+        let pool = self.pool_for(ctx, peer)?;
+        pool.sema.p(ctx); // Blocks when all channels are in use.
+        let chan = pool.free.lock().pop().expect("semaphore-guarded pool");
+
+        let result = self.call_on_channel(
+            ctx,
+            &chan,
+            &lower,
+            frag_size,
+            peer,
+            command,
+            args,
+            num_frags as u16,
+        );
+
+        pool.free.lock().push(chan);
+        pool.sema.v(ctx);
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn call_on_channel(
+        &self,
+        ctx: &Ctx,
+        chan: &Arc<MChan>,
+        lower: &SessionRef,
+        frag_size: usize,
+        peer: IpAddr,
+        command: u16,
+        args: Message,
+        num_frags: u16,
+    ) -> XResult<Message> {
+        let (seq, sema) = {
+            let mut st = chan.st.lock();
+            debug_assert!(st.out.is_none(), "channel pool guarantees exclusivity");
+            st.seq = st.seq.wrapping_add(1);
+            let sema = SharedSema::new(0);
+            st.out = Some(Outstanding {
+                seq: st.seq,
+                sema: sema.clone(),
+                reply_frags: Vec::new(),
+                reply_mask: 0,
+                reply_num: 0,
+                done: None,
+                server_has: 0,
+                acked: false,
+            });
+            (st.seq, sema)
+        };
+
+        let mut hdr = SpriteHdr {
+            flags: flags::REQUEST,
+            clnt_host: self.my_ip(),
+            srvr_host: peer,
+            channel: chan.chan,
+            srvr_process: 0,
+            sequence_num: seq,
+            num_frags,
+            frag_mask: 0,
+            command,
+            boot_id: self.boot_id(),
+            data1_sz: 0, // Filled per fragment at transmission time.
+            data2_sz: 0,
+            data1_offset: 0,
+            data2_offset: 0,
+        };
+        let timeout = self.cfg.base_timeout_ns
+            + self.cfg.per_frag_ns * u64::from(num_frags.saturating_sub(1));
+
+        let mut attempts = 0u32;
+        let mut send_mask = full_mask(num_frags);
+        loop {
+            self.send_frags(ctx, lower, frag_size, &hdr, &args, send_mask)?;
+            let outcome = loop {
+                let _ = sema.p_timeout(ctx, timeout);
+                let mut st = chan.st.lock();
+                let out = st.out.as_mut().expect("outstanding until cleared");
+                if let Some(reply) = out.done.take() {
+                    st.out = None;
+                    break Some(reply);
+                }
+                if out.acked {
+                    out.acked = false;
+                    let has = out.server_has;
+                    if ctx.mode() == Mode::Inline {
+                        break None;
+                    }
+                    // The server told us which fragments it has; narrow the
+                    // retransmission set and wait again.
+                    send_mask = full_mask(num_frags) & !has;
+                    continue;
+                }
+                break None;
+            };
+            if let Some(reply) = outcome {
+                return Ok(reply);
+            }
+            attempts += 1;
+            if attempts > self.cfg.max_retries || ctx.mode() == Mode::Inline {
+                chan.st.lock().out = None;
+                return Err(XError::Timeout(format!(
+                    "sprite rpc {command} seq {seq} to {peer} after {attempts} attempts"
+                )));
+            }
+            hdr.flags = flags::REQUEST | flags::PLEASE_ACK;
+        }
+    }
+
+    fn server_for(&self, hdr: &SpriteHdr) -> Arc<MServer> {
+        let key = (hdr.clnt_host.0, hdr.channel);
+        let mut servers = self.servers.lock();
+        Arc::clone(servers.entry(key).or_insert_with(|| {
+            Arc::new(MServer {
+                clnt: hdr.clnt_host,
+                chan: hdr.channel,
+                st: Mutex::new(ServerState {
+                    last_boot: hdr.boot_id,
+                    last_seq: 0,
+                    in_progress: None,
+                    req_num: 0,
+                    req_mask: 0,
+                    req_parts: Vec::new(),
+                    saved_reply_seq: 0,
+                    saved_reply: Vec::new(),
+                }),
+            })
+        }))
+    }
+
+    fn request_in(&self, ctx: &Ctx, hdr: SpriteHdr, msg: Message) -> XResult<()> {
+        ctx.charge(ctx.cost().demux_lookup);
+        let server = self.server_for(&hdr);
+
+        enum Action {
+            None,
+            Ack(u16),
+            ResendReply(Vec<Message>),
+            Dispatch(Message),
+        }
+        let action = {
+            let mut st = server.st.lock();
+            if hdr.boot_id != st.last_boot {
+                st.last_boot = hdr.boot_id;
+                st.last_seq = 0;
+                st.in_progress = None;
+                st.saved_reply.clear();
+                st.saved_reply_seq = 0;
+            }
+            if st.saved_reply_seq == hdr.sequence_num && !st.saved_reply.is_empty() {
+                // Client retransmission of an already-answered request.
+                // Resend the saved reply — but only for the *first* fragment
+                // of the retransmitted request, else every late duplicate
+                // fragment of a multi-fragment request would trigger its own
+                // full reply resend (a retransmission storm).
+                if hdr.frag_mask & 1 != 0 {
+                    Action::ResendReply(st.saved_reply.clone())
+                } else {
+                    Action::None
+                }
+            } else if hdr.sequence_num <= st.last_seq && st.last_seq != 0 {
+                Action::None // Ancient duplicate.
+            } else {
+                if st.in_progress != Some(hdr.sequence_num) {
+                    // New request: implicitly acknowledges the saved reply.
+                    st.in_progress = Some(hdr.sequence_num);
+                    st.saved_reply.clear();
+                    st.saved_reply_seq = 0;
+                    st.req_num = hdr.num_frags;
+                    st.req_mask = 0;
+                    st.req_parts = (0..hdr.num_frags).map(|_| None).collect();
+                }
+                let idx = hdr.frag_mask.trailing_zeros() as usize;
+                let dup = idx < st.req_parts.len() && st.req_parts[idx].is_some();
+                if idx < st.req_parts.len() && !dup {
+                    st.req_parts[idx] = Some(msg);
+                    st.req_mask |= 1 << idx;
+                }
+                if st.req_mask == full_mask(st.req_num) {
+                    let parts = std::mem::take(&mut st.req_parts);
+                    Action::Dispatch(Message::concat(parts.into_iter().flatten()))
+                } else if dup || hdr.flags & flags::PLEASE_ACK != 0 {
+                    // Retransmission while incomplete: tell the client what
+                    // we have so it can resend just the missing fragments.
+                    Action::Ack(st.req_mask)
+                } else {
+                    Action::None
+                }
+            }
+        };
+
+        match action {
+            Action::None => Ok(()),
+            Action::Ack(have) => {
+                let (lower, _) = self.lower_for(ctx, hdr.clnt_host)?;
+                let ack = SpriteHdr {
+                    flags: flags::ACK,
+                    clnt_host: hdr.clnt_host,
+                    srvr_host: self.my_ip(),
+                    channel: hdr.channel,
+                    sequence_num: hdr.sequence_num,
+                    num_frags: hdr.num_frags,
+                    frag_mask: have,
+                    command: hdr.command,
+                    boot_id: self.boot_id(),
+                    ..SpriteHdr::default()
+                };
+                let mut pkt = ctx.empty_msg();
+                ctx.push_header(&mut pkt, &ack.encode());
+                ctx.charge_layer_call();
+                lower.push(ctx, pkt)?;
+                Ok(())
+            }
+            Action::ResendReply(frags) => {
+                let (lower, _) = self.lower_for(ctx, hdr.clnt_host)?;
+                for f in frags {
+                    ctx.charge_layer_call();
+                    lower.push(ctx, f)?;
+                }
+                Ok(())
+            }
+            Action::Dispatch(body) => self.dispatch(ctx, &server, hdr, body),
+        }
+    }
+
+    /// Runs the procedure and sends (and saves) the fragmented reply.
+    fn dispatch(
+        &self,
+        ctx: &Ctx,
+        server: &Arc<MServer>,
+        hdr: SpriteHdr,
+        body: Message,
+    ) -> XResult<()> {
+        ctx.charge(ctx.cost().demux_lookup); // Procedure table.
+        let result = {
+            let handlers = self.handlers.read();
+            match handlers.get(&hdr.command) {
+                Some(h) => h(ctx, body),
+                None => Err(XError::Remote(format!("no procedure {}", hdr.command))),
+            }
+        };
+        let reply_body = result.unwrap_or_else(|_| ctx.empty_msg());
+        let (lower, frag_size) = self.lower_for(ctx, server.clnt)?;
+        let num = reply_body.len().max(1).div_ceil(frag_size) as u16;
+        let rhdr = SpriteHdr {
+            flags: flags::REPLY,
+            clnt_host: server.clnt,
+            srvr_host: self.my_ip(),
+            channel: server.chan,
+            sequence_num: hdr.sequence_num,
+            num_frags: num,
+            frag_mask: 0,
+            command: hdr.command,
+            boot_id: self.boot_id(),
+            ..SpriteHdr::default()
+        };
+        // Build, save, then send the wire fragments.
+        let mut wire_frags = Vec::new();
+        for (i, frag) in split(&reply_body, frag_size).into_iter().enumerate() {
+            let mut h = rhdr;
+            h.frag_mask = 1 << i;
+            h.data1_sz = frag.len() as u16;
+            h.data1_offset = (i * frag_size) as u16;
+            let mut pkt = frag;
+            ctx.push_header(&mut pkt, &h.encode());
+            wire_frags.push(pkt);
+        }
+        {
+            let mut st = server.st.lock();
+            st.in_progress = None;
+            st.last_seq = hdr.sequence_num;
+            st.saved_reply_seq = hdr.sequence_num;
+            st.saved_reply = wire_frags.clone();
+        }
+        for f in wire_frags {
+            ctx.charge_layer_call();
+            lower.push(ctx, f)?;
+        }
+        Ok(())
+    }
+
+    fn reply_in(&self, ctx: &Ctx, hdr: SpriteHdr, msg: Message) -> XResult<()> {
+        ctx.charge(ctx.cost().demux_lookup);
+        let chan = self.chans.lock().get(&hdr.channel).cloned();
+        let Some(chan) = chan else {
+            return Ok(());
+        };
+        let mut st = chan.st.lock();
+        let Some(out) = st.out.as_mut() else {
+            return Ok(());
+        };
+        if out.seq != hdr.sequence_num {
+            return Ok(());
+        }
+        if hdr.flags & flags::ACK != 0 {
+            out.acked = true;
+            out.server_has = hdr.frag_mask;
+            let sema = out.sema.clone();
+            drop(st);
+            sema.v(ctx);
+            return Ok(());
+        }
+        // Reply fragment.
+        if out.reply_frags.is_empty() {
+            out.reply_num = hdr.num_frags;
+            out.reply_frags = (0..hdr.num_frags).map(|_| None).collect();
+        }
+        let idx = hdr.frag_mask.trailing_zeros() as usize;
+        if idx < out.reply_frags.len() && out.reply_frags[idx].is_none() {
+            out.reply_frags[idx] = Some(msg);
+            out.reply_mask |= 1 << idx;
+        }
+        if out.reply_mask == full_mask(out.reply_num) && out.done.is_none() {
+            let parts = std::mem::take(&mut out.reply_frags);
+            out.done = Some(Message::concat(parts.into_iter().flatten()));
+            let sema = out.sema.clone();
+            drop(st);
+            sema.v(ctx);
+        }
+        Ok(())
+    }
+}
+
+/// A client session bound to one (server, procedure).
+pub struct MrpcSession {
+    parent: Arc<Mrpc>,
+    peer: IpAddr,
+    command: u16,
+}
+
+impl Session for MrpcSession {
+    fn protocol_id(&self) -> ProtoId {
+        self.parent.me
+    }
+
+    fn push(&self, ctx: &Ctx, msg: Message) -> XResult<Option<Message>> {
+        self.parent
+            .call(ctx, self.peer, self.command, msg)
+            .map(Some)
+    }
+
+    fn control(&self, ctx: &Ctx, op: &ControlOp) -> XResult<ControlRes> {
+        match op {
+            ControlOp::GetPeerHost => Ok(ControlRes::Ip(self.peer)),
+            ControlOp::GetMaxPacket => {
+                let (_, frag_size) = self.parent.lower_for(ctx, self.peer)?;
+                Ok(ControlRes::Size(MAX_FRAGS * frag_size))
+            }
+            _ => Err(XError::Unsupported("mrpc session control")),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+impl Protocol for Mrpc {
+    fn name(&self) -> &'static str {
+        "sprite"
+    }
+
+    fn id(&self) -> ProtoId {
+        self.me
+    }
+
+    fn boot(&self, ctx: &Ctx) -> XResult<()> {
+        let kernel = ctx.kernel();
+        let lower = kernel.proto(self.lower)?;
+        self.lower_name
+            .set(lower.name())
+            .map_err(|_| XError::Config("mrpc double boot".into()))?;
+        *self.boot.lock() = (ctx.next_u64() & 0xffff_ffff) as u32 | 1;
+        // Our host identity: from the lower protocol if it speaks internet
+        // addresses, else from ARP (the raw-Ethernet configuration).
+        let my_ip = lower
+            .control(ctx, &ControlOp::GetMyHost)
+            .and_then(|r| r.ip())
+            .or_else(|_| match self.arp {
+                Some(arp) => kernel.control(ctx, arp, &ControlOp::GetMyHost)?.ip(),
+                None => Err(XError::Config(
+                    "sprite cannot learn its host address".into(),
+                )),
+            })?;
+        let _ = self.my_ip.set(my_ip);
+        let parts =
+            ParticipantSet::local(Participant::proto(rel_proto_num(lower.name(), "sprite")?));
+        kernel.open_enable(ctx, self.lower, self.me, &parts)
+    }
+
+    fn open(&self, ctx: &Ctx, _upper: ProtoId, parts: &ParticipantSet) -> XResult<SessionRef> {
+        let peer = parts
+            .remote_part()
+            .and_then(|p| p.host)
+            .ok_or_else(|| XError::Config("sprite open needs a server host".into()))?;
+        let command = parts
+            .local_part()
+            .and_then(|p| p.proto_num)
+            .ok_or_else(|| XError::Config("sprite open needs a command".into()))?
+            as u16;
+        if let Some(s) = self.sessions.lock().get(&(peer.0, command)) {
+            return Ok(Arc::clone(s));
+        }
+        ctx.charge(ctx.cost().session_create);
+        let s: SessionRef = Arc::new(MrpcSession {
+            parent: self.self_arc(),
+            peer,
+            command,
+        });
+        self.sessions
+            .lock()
+            .insert((peer.0, command), Arc::clone(&s));
+        Ok(s)
+    }
+
+    fn open_enable(&self, _ctx: &Ctx, _upper: ProtoId, _parts: &ParticipantSet) -> XResult<()> {
+        // Dispatch is by registered handlers.
+        Ok(())
+    }
+
+    fn demux(&self, ctx: &Ctx, _lls: &SessionRef, mut msg: Message) -> XResult<()> {
+        let bytes = ctx.pop_header(&mut msg, SPRITE_HDR_LEN)?;
+        let hdr = SpriteHdr::decode(&bytes)?;
+        drop(bytes);
+        // Trim link-level padding using the packet's data size.
+        if hdr.flags & (flags::REQUEST | flags::REPLY) != 0 {
+            msg.truncate(usize::from(hdr.data1_sz));
+        }
+        if hdr.flags & flags::REQUEST != 0 {
+            self.request_in(ctx, hdr, msg)
+        } else {
+            self.reply_in(ctx, hdr, msg)
+        }
+    }
+
+    fn control(&self, ctx: &Ctx, op: &ControlOp) -> XResult<ControlRes> {
+        match op {
+            // The paper's example: "Sprite RPC reports that it never sends a
+            // message greater than 1500-bytes (it has its own fragmentation
+            // mechanism for handling larger messages)".
+            ControlOp::GetMaxMsgSize => Ok(ControlRes::Size(1500)),
+            ControlOp::GetMyBootId => Ok(ControlRes::U32(self.boot_id())),
+            _ => {
+                let _ = ctx;
+                Err(XError::Unsupported("mrpc control"))
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

@@ -1,0 +1,494 @@
+//! SELECT — procedure selection, channel allocation, and dispatch.
+//!
+//! The top layer of the layered Sprite RPC decomposition: it "maps Sprite
+//! commands (procedure ids) onto procedure addresses (server processes)"
+//! and owns the performance-critical caching. Because Sprite has a fixed,
+//! predefined number of channels, SELECT keeps a fixed pool of CHANNEL
+//! sessions per server and *blocks* the calling shepherd when none are free.
+//!
+//! SELECT is a separate protocol (rather than being folded into CHANNEL)
+//! exactly so that alternative selection policies can be substituted; this
+//! module also provides the paper's two examples:
+//!
+//! * a *forwarding* selection layer — commands can be redirected to another
+//!   host, transparently to the client ([`Select::set_forward`]);
+//! * [`Rdgram`], the "trivial to build" reliable datagram protocol on top
+//!   of CHANNEL.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::{Mutex, RwLock};
+
+use xkernel::prelude::*;
+
+use crate::hdr::{SelectHdr, SELECT_HDR_LEN};
+use crate::protnum::rel_proto_num;
+
+/// A server procedure: takes the request body, returns the reply body.
+pub type Handler = Box<dyn Fn(&Ctx, Message) -> XResult<Message> + Send + Sync>;
+
+/// Reply status codes carried in [`SelectHdr::status`].
+pub mod status {
+    /// Success.
+    pub const OK: u8 = 0;
+    /// The procedure raised an error.
+    pub const PROC_ERROR: u8 = 1;
+    /// No such procedure registered.
+    pub const NO_SUCH_PROC: u8 = 2;
+    /// Forwarding to the backing host failed.
+    pub const FORWARD_FAILED: u8 = 3;
+}
+
+/// Header type values.
+const TYP_REQUEST: u8 = 0;
+const TYP_REPLY: u8 = 1;
+
+/// Configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SelectConfig {
+    /// CHANNEL sessions kept per server host (Sprite's fixed channel set).
+    pub channels_per_peer: usize,
+}
+
+impl Default for SelectConfig {
+    fn default() -> SelectConfig {
+        SelectConfig {
+            channels_per_peer: 8,
+        }
+    }
+}
+
+/// A fixed pool of client channels towards one server.
+struct ChanPool {
+    sema: SharedSema,
+    free: Mutex<Vec<SessionRef>>,
+}
+
+/// The SELECT protocol object.
+pub struct Select {
+    weak_self: Weak<Select>,
+    me: ProtoId,
+    channel: ProtoId,
+    cfg: SelectConfig,
+    handlers: RwLock<HashMap<u16, Handler>>,
+    forward: Mutex<HashMap<u16, IpAddr>>,
+    pools: Mutex<HashMap<u32, Arc<ChanPool>>>,
+    sessions: Mutex<HashMap<(u32, u16), SessionRef>>,
+    passive_opens: AtomicU64,
+}
+
+impl Select {
+    /// Creates SELECT above the CHANNEL protocol `channel`.
+    pub fn new(me: ProtoId, channel: ProtoId, cfg: SelectConfig) -> Arc<Select> {
+        Arc::new_cyclic(|weak_self| Select {
+            weak_self: weak_self.clone(),
+            me,
+            channel,
+            cfg,
+            handlers: RwLock::new(HashMap::new()),
+            forward: Mutex::new(HashMap::new()),
+            pools: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(HashMap::new()),
+            passive_opens: AtomicU64::new(0),
+        })
+    }
+
+    fn self_arc(&self) -> Arc<Select> {
+        self.weak_self.upgrade().expect("select alive")
+    }
+
+    /// Registers the procedure for `command`.
+    pub fn serve<F>(&self, command: u16, f: F)
+    where
+        F: Fn(&Ctx, Message) -> XResult<Message> + Send + Sync + 'static,
+    {
+        self.handlers.write().insert(command, Box::new(f));
+    }
+
+    /// Redirects `command` to `host` — the alternative *forwarding*
+    /// selection policy.
+    pub fn set_forward(&self, command: u16, host: IpAddr) {
+        self.forward.lock().insert(command, host);
+    }
+
+    /// Number of currently free channels towards `peer` (tests; None until
+    /// the pool exists).
+    pub fn free_channels(&self, peer: IpAddr) -> Option<usize> {
+        self.pools.lock().get(&peer.0).map(|p| p.free.lock().len())
+    }
+
+    /// How many server channels CHANNEL has passively created on our
+    /// behalf (reported through the open-done upcall).
+    pub fn passive_opens(&self) -> u64 {
+        self.passive_opens.load(Ordering::Relaxed)
+    }
+
+    fn pool_for(&self, ctx: &Ctx, peer: IpAddr) -> XResult<Arc<ChanPool>> {
+        if let Some(p) = self.pools.lock().get(&peer.0) {
+            return Ok(Arc::clone(p));
+        }
+        // Open the fixed channel set outside the pools lock.
+        let my_num = rel_proto_num("channel", "select")?;
+        let mut sessions = Vec::with_capacity(self.cfg.channels_per_peer);
+        for _ in 0..self.cfg.channels_per_peer {
+            let parts = ParticipantSet::pair(Participant::proto(my_num), Participant::host(peer));
+            sessions.push(ctx.kernel().open(ctx, self.channel, self.me, &parts)?);
+        }
+        let pool = Arc::new(ChanPool {
+            sema: SharedSema::new(self.cfg.channels_per_peer as i64),
+            free: Mutex::new(sessions),
+        });
+        Ok(Arc::clone(self.pools.lock().entry(peer.0).or_insert(pool)))
+    }
+
+    /// The full client path: allocate a channel (blocking if none free),
+    /// attach the SELECT header, push through CHANNEL, decode the reply.
+    fn call(&self, ctx: &Ctx, peer: IpAddr, command: u16, args: Message) -> XResult<Message> {
+        ctx.charge(ctx.cost().demux_lookup); // Channel-pool lookup.
+        let pool = self.pool_for(ctx, peer)?;
+        pool.sema.p(ctx); // Blocks when all channels are busy.
+        let chan = pool
+            .free
+            .lock()
+            .pop()
+            .expect("semaphore guarantees a free channel");
+
+        let result = (|| {
+            let hdr = SelectHdr {
+                typ: TYP_REQUEST,
+                command,
+                status: status::OK,
+            };
+            let mut wire = args;
+            ctx.push_header(&mut wire, &hdr.encode());
+            ctx.charge_layer_call();
+            let reply = chan
+                .push(ctx, wire)?
+                .ok_or_else(|| XError::Config("channel returned no reply".into()))?;
+            let mut reply = reply;
+            let bytes = ctx.pop_header(&mut reply, SELECT_HDR_LEN)?;
+            let rh = SelectHdr::decode(&bytes)?;
+            drop(bytes);
+            match rh.status {
+                status::OK => Ok(reply),
+                status::NO_SUCH_PROC => {
+                    Err(XError::Remote(format!("no procedure {command} on {peer}")))
+                }
+                code => Err(XError::Remote(format!(
+                    "procedure {command} on {peer} failed with status {code}"
+                ))),
+            }
+        })();
+
+        pool.free.lock().push(chan);
+        pool.sema.v(ctx);
+        result
+    }
+
+    fn reply_via(
+        &self,
+        ctx: &Ctx,
+        lls: &SessionRef,
+        command: u16,
+        status_code: u8,
+        body: Message,
+    ) -> XResult<()> {
+        ctx.charge(ctx.cost().demux_lookup); // Reply-path state lookup.
+        let hdr = SelectHdr {
+            typ: TYP_REPLY,
+            command,
+            status: status_code,
+        };
+        let mut wire = body;
+        ctx.push_header(&mut wire, &hdr.encode());
+        ctx.charge_layer_call();
+        lls.push(ctx, wire)?;
+        Ok(())
+    }
+}
+
+/// A client session bound to one (server, procedure).
+pub struct SelectSession {
+    parent: Arc<Select>,
+    peer: IpAddr,
+    command: u16,
+}
+
+impl Session for SelectSession {
+    fn protocol_id(&self) -> ProtoId {
+        self.parent.me
+    }
+
+    fn push(&self, ctx: &Ctx, msg: Message) -> XResult<Option<Message>> {
+        self.parent
+            .call(ctx, self.peer, self.command, msg)
+            .map(Some)
+    }
+
+    fn control(&self, ctx: &Ctx, op: &ControlOp) -> XResult<ControlRes> {
+        match op {
+            ControlOp::GetPeerHost => Ok(ControlRes::Ip(self.peer)),
+            ControlOp::GetFreeChannels => Ok(ControlRes::Size(
+                self.parent.free_channels(self.peer).unwrap_or(0),
+            )),
+            _ => {
+                let _ = ctx;
+                Err(XError::Unsupported("select session control"))
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+impl Protocol for Select {
+    fn name(&self) -> &'static str {
+        "select"
+    }
+
+    fn id(&self) -> ProtoId {
+        self.me
+    }
+
+    fn boot(&self, ctx: &Ctx) -> XResult<()> {
+        let parts = ParticipantSet::local(Participant::proto(rel_proto_num("channel", "select")?));
+        ctx.kernel().open_enable(ctx, self.channel, self.me, &parts)
+    }
+
+    fn open(&self, ctx: &Ctx, _upper: ProtoId, parts: &ParticipantSet) -> XResult<SessionRef> {
+        let peer = parts
+            .remote_part()
+            .and_then(|p| p.host)
+            .ok_or_else(|| XError::Config("select open needs a server host".into()))?;
+        let command = parts
+            .local_part()
+            .and_then(|p| p.proto_num)
+            .ok_or_else(|| XError::Config("select open needs a command".into()))?
+            as u16;
+        if let Some(s) = self.sessions.lock().get(&(peer.0, command)) {
+            return Ok(Arc::clone(s));
+        }
+        ctx.charge(ctx.cost().session_create);
+        let s: SessionRef = Arc::new(SelectSession {
+            parent: self.self_arc(),
+            peer,
+            command,
+        });
+        self.sessions
+            .lock()
+            .insert((peer.0, command), Arc::clone(&s));
+        Ok(s)
+    }
+
+    fn open_enable(&self, _ctx: &Ctx, _upper: ProtoId, _parts: &ParticipantSet) -> XResult<()> {
+        // Server-side dispatch is by registered handlers; nothing to record.
+        Ok(())
+    }
+
+    /// CHANNEL passively created a server channel for us (the open-done
+    /// upcall completing our boot-time open_enable).
+    fn open_done(
+        &self,
+        _ctx: &Ctx,
+        _lower: ProtoId,
+        _lls: &SessionRef,
+        _parts: &ParticipantSet,
+    ) -> XResult<()> {
+        self.passive_opens.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Server side: a request arrives up from CHANNEL (`lls` is the server
+    /// channel session the reply must go down on).
+    fn demux(&self, ctx: &Ctx, lls: &SessionRef, mut msg: Message) -> XResult<()> {
+        let bytes = ctx.pop_header(&mut msg, SELECT_HDR_LEN)?;
+        let hdr = SelectHdr::decode(&bytes)?;
+        drop(bytes);
+        if hdr.typ != TYP_REQUEST {
+            ctx.trace("select", || format!("unexpected type {}", hdr.typ));
+            return Ok(());
+        }
+        // Forwarding policy first: redirect the command to another host.
+        let fwd = self.forward.lock().get(&hdr.command).copied();
+        if let Some(backend) = fwd {
+            let result = self.call(ctx, backend, hdr.command, msg);
+            return match result {
+                Ok(body) => self.reply_via(ctx, lls, hdr.command, status::OK, body),
+                Err(_) => self.reply_via(
+                    ctx,
+                    lls,
+                    hdr.command,
+                    status::FORWARD_FAILED,
+                    ctx.empty_msg(),
+                ),
+            };
+        }
+        ctx.charge(ctx.cost().demux_lookup); // Procedure table lookup.
+        let handlers = self.handlers.read();
+        match handlers.get(&hdr.command) {
+            None => {
+                drop(handlers);
+                self.reply_via(
+                    ctx,
+                    lls,
+                    hdr.command,
+                    status::NO_SUCH_PROC,
+                    Message::empty(),
+                )
+            }
+            Some(h) => {
+                let result = h(ctx, msg);
+                drop(handlers);
+                match result {
+                    Ok(body) => self.reply_via(ctx, lls, hdr.command, status::OK, body),
+                    Err(e) => {
+                        ctx.trace("select", || {
+                            format!("procedure {} failed: {e}", hdr.command)
+                        });
+                        self.reply_via(ctx, lls, hdr.command, status::PROC_ERROR, ctx.empty_msg())
+                    }
+                }
+            }
+        }
+    }
+
+    fn control(&self, ctx: &Ctx, op: &ControlOp) -> XResult<ControlRes> {
+        match op {
+            // Asked by VIP when SELECT's stack sits directly over it.
+            ControlOp::GetMaxMsgSize => Ok(ControlRes::Size(1500)),
+            _ => {
+                let _ = ctx;
+                Err(XError::Unsupported("select control"))
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RDGRAM — the paper's "trivial" reliable datagram protocol over CHANNEL.
+// ---------------------------------------------------------------------------
+
+/// Reliable datagrams on top of CHANNEL: each datagram is a request whose
+/// empty reply confirms delivery. At-most-once comes for free from CHANNEL.
+pub struct Rdgram {
+    weak_self: Weak<Rdgram>,
+    me: ProtoId,
+    channel: ProtoId,
+    upper: Mutex<Option<ProtoId>>,
+    sessions: Mutex<HashMap<u32, SessionRef>>,
+}
+
+impl Rdgram {
+    /// Creates RDGRAM above the CHANNEL protocol `channel`.
+    pub fn new(me: ProtoId, channel: ProtoId) -> Arc<Rdgram> {
+        Arc::new_cyclic(|weak_self| Rdgram {
+            weak_self: weak_self.clone(),
+            me,
+            channel,
+            upper: Mutex::new(None),
+            sessions: Mutex::new(HashMap::new()),
+        })
+    }
+
+    fn self_arc(&self) -> Arc<Rdgram> {
+        self.weak_self.upgrade().expect("rdgram alive")
+    }
+}
+
+/// Client session: push = reliably deliver one datagram.
+pub struct RdgramSession {
+    parent: Arc<Rdgram>,
+    peer: IpAddr,
+    chan: SessionRef,
+}
+
+impl Session for RdgramSession {
+    fn protocol_id(&self) -> ProtoId {
+        self.parent.me
+    }
+
+    fn push(&self, ctx: &Ctx, msg: Message) -> XResult<Option<Message>> {
+        ctx.charge_layer_call();
+        let reply = self.chan.push(ctx, msg)?;
+        debug_assert!(reply.is_some(), "channel always returns a reply");
+        Ok(None) // Datagram semantics: nothing comes back to the caller.
+    }
+
+    fn control(&self, ctx: &Ctx, op: &ControlOp) -> XResult<ControlRes> {
+        match op {
+            ControlOp::GetPeerHost => Ok(ControlRes::Ip(self.peer)),
+            other => self.chan.control(ctx, other),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+impl Protocol for Rdgram {
+    fn name(&self) -> &'static str {
+        "rdgram"
+    }
+
+    fn id(&self) -> ProtoId {
+        self.me
+    }
+
+    fn boot(&self, ctx: &Ctx) -> XResult<()> {
+        let parts = ParticipantSet::local(Participant::proto(rel_proto_num("channel", "rdgram")?));
+        ctx.kernel().open_enable(ctx, self.channel, self.me, &parts)
+    }
+
+    fn open(&self, ctx: &Ctx, _upper: ProtoId, parts: &ParticipantSet) -> XResult<SessionRef> {
+        let peer = parts
+            .remote_part()
+            .and_then(|p| p.host)
+            .ok_or_else(|| XError::Config("rdgram open needs a peer host".into()))?;
+        if let Some(s) = self.sessions.lock().get(&peer.0) {
+            return Ok(Arc::clone(s));
+        }
+        ctx.charge(ctx.cost().session_create);
+        let cparts = ParticipantSet::pair(
+            Participant::proto(rel_proto_num("channel", "rdgram")?),
+            Participant::host(peer),
+        );
+        let chan = ctx.kernel().open(ctx, self.channel, self.me, &cparts)?;
+        let s: SessionRef = Arc::new(RdgramSession {
+            parent: self.self_arc(),
+            peer,
+            chan,
+        });
+        self.sessions.lock().insert(peer.0, Arc::clone(&s));
+        Ok(s)
+    }
+
+    fn open_enable(&self, _ctx: &Ctx, upper: ProtoId, _parts: &ParticipantSet) -> XResult<()> {
+        *self.upper.lock() = Some(upper);
+        Ok(())
+    }
+
+    /// Server side: deliver the datagram up, then confirm with an empty
+    /// reply so the sender's CHANNEL push completes.
+    fn demux(&self, ctx: &Ctx, lls: &SessionRef, msg: Message) -> XResult<()> {
+        let upper =
+            (*self.upper.lock()).ok_or_else(|| XError::NoEnable("rdgram has no upper".into()))?;
+        ctx.kernel().demux_to(ctx, upper, lls, msg)?;
+        ctx.charge_layer_call();
+        lls.push(ctx, ctx.empty_msg())?;
+        Ok(())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

@@ -1,0 +1,87 @@
+//! The canonical protocol configurations from the paper's evaluation,
+//! as graph-DSL fragments appended to the standard inet graph.
+//!
+//! Shared by the integration tests, the benchmark harness, and the
+//! examples, so every consumer measures exactly the same stacks.
+
+/// One named configuration: graph lines plus the entry protocol's instance
+/// name (a `sprite` or `select` instance whose sessions perform RPCs).
+#[derive(Clone, Copy, Debug)]
+pub struct StackDef {
+    /// Configuration name as the paper spells it.
+    pub name: &'static str,
+    /// Graph lines appended to the standard inet graph.
+    pub graph: &'static str,
+    /// The RPC entry protocol instance.
+    pub entry: &'static str,
+}
+
+/// `M_RPC-ETH`: monolithic Sprite RPC directly on the Ethernet.
+pub const M_RPC_ETH: StackDef = StackDef {
+    name: "M_RPC-ETH",
+    graph: "mrpc: sprite -> eth arp\n",
+    entry: "mrpc",
+};
+
+/// `M_RPC-IP`: monolithic Sprite RPC over IP (the fixed 21% latency tax the
+/// paper quantifies).
+pub const M_RPC_IP: StackDef = StackDef {
+    name: "M_RPC-IP",
+    graph: "mrpc: sprite -> ip\n",
+    entry: "mrpc",
+};
+
+/// `M_RPC-VIP`: monolithic Sprite RPC over the virtual protocol.
+pub const M_RPC_VIP: StackDef = StackDef {
+    name: "M_RPC-VIP",
+    graph: "vip -> ip eth arp\nmrpc: sprite -> vip\n",
+    entry: "mrpc",
+};
+
+/// `L_RPC-VIP`: the layered decomposition SELECT-CHANNEL-FRAGMENT over VIP.
+pub const L_RPC_VIP: StackDef = StackDef {
+    name: "L_RPC-VIP",
+    graph: "vip -> ip eth arp\n\
+            fragment -> vip\n\
+            channel -> fragment\n\
+            select -> channel\n",
+    entry: "select",
+};
+
+/// §4.3's alternative configuration: SELECT-CHANNEL-VIPSIZE with FRAGMENT
+/// *below* the virtual protocol, dynamically bypassed for small messages.
+pub const L_RPC_VIPSIZE: StackDef = StackDef {
+    name: "L_RPC-VIPSIZE",
+    graph: "vipaddr -> ip eth arp\n\
+            fragment -> vipaddr\n\
+            vipsize -> fragment vipaddr\n\
+            channel -> vipsize\n\
+            select -> channel\n",
+    entry: "select",
+};
+
+/// Every full RPC configuration, in the order the paper's tables present
+/// them.
+pub const ALL_RPC_STACKS: [StackDef; 5] =
+    [M_RPC_ETH, M_RPC_IP, M_RPC_VIP, L_RPC_VIP, L_RPC_VIPSIZE];
+
+/// Table III partial stacks, measured with the [`crate::pinger`] protocol:
+/// each entry is (name, graph, the pinger's lower protocol instance).
+pub const TABLE3_STACKS: [(&str, &str, &str); 4] = [
+    ("VIP", "vip -> ip eth arp\n", "vip"),
+    (
+        "FRAGMENT-VIP",
+        "vip -> ip eth arp\nfragment -> vip\n",
+        "fragment",
+    ),
+    (
+        "CHANNEL-FRAGMENT-VIP",
+        "vip -> ip eth arp\nfragment -> vip\nchannel -> fragment\n",
+        "channel",
+    ),
+    (
+        "SELECT-CHANNEL-FRAGMENT-VIP",
+        "vip -> ip eth arp\nfragment -> vip\nchannel -> fragment\nselect -> channel\n",
+        "select",
+    ),
+];

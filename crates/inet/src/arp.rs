@@ -1,0 +1,246 @@
+//! ARP — address resolution (RFC 826 style).
+//!
+//! Resolves 32-bit internet addresses to 48-bit hardware addresses by
+//! broadcasting a request on the local wire. Two roles in this suite:
+//!
+//! 1. The ordinary one: IP uses it to find the next hop's hardware address.
+//! 2. The paper's locality oracle: "VIP next decides if the destination host
+//!    is reachable via the ethernet by trying to resolve the IP address
+//!    using ARP. If ARP can resolve the address, then the destination host
+//!    must be on the local ethernet" — a resolution *timeout* means the host
+//!    is not local.
+//!
+//! Negative results are cached (like the paper's suggested table of
+//! VIP-speaking hosts) so remote peers do not pay the probe on every open.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+
+use xkernel::prelude::*;
+
+use crate::eth::eth_type;
+
+/// ARP packet length: op(2) + sender ip(4) + sender eth(6) + target ip(4) +
+/// target eth(6).
+pub const ARP_PKT_LEN: usize = 22;
+
+const OP_REQUEST: u16 = 1;
+const OP_REPLY: u16 = 2;
+
+/// Per-attempt resolution timeout (virtual ns).
+pub const ARP_TIMEOUT_NS: u64 = 50_000_000;
+/// Number of request attempts before declaring the host non-local.
+pub const ARP_RETRIES: u32 = 3;
+/// How long a negative (not-local) conclusion is believed before the wire
+/// is probed again — requests or replies may simply have been lost.
+pub const ARP_NEGATIVE_TTL_NS: u64 = 10_000_000_000;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Entry {
+    Known(EthAddr),
+    /// Probed and unanswered at the recorded time: host was not on this
+    /// wire then.
+    NotLocal(u64),
+}
+
+/// The ARP protocol object.
+pub struct Arp {
+    me: ProtoId,
+    eth: ProtoId,
+    my_ip: IpAddr,
+    my_eth: OnceLock<EthAddr>,
+    bcast: OnceLock<SessionRef>,
+    cache: Mutex<HashMap<IpAddr, Entry>>,
+    waiters: Mutex<HashMap<IpAddr, Vec<SharedSema>>>,
+}
+
+impl Arp {
+    /// Creates an ARP protocol above `eth`, answering for `my_ip`.
+    pub fn new(me: ProtoId, eth: ProtoId, my_ip: IpAddr) -> Arc<Arp> {
+        Arc::new(Arp {
+            me,
+            eth,
+            my_ip,
+            my_eth: OnceLock::new(),
+            bcast: OnceLock::new(),
+            cache: Mutex::new(HashMap::new()),
+            waiters: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The internet address this ARP answers for.
+    pub fn my_ip(&self) -> IpAddr {
+        self.my_ip
+    }
+
+    fn encode(op: u16, sip: IpAddr, seth: EthAddr, tip: IpAddr, teth: EthAddr) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(ARP_PKT_LEN);
+        w.u16(op).ip(sip).eth(seth).ip(tip).eth(teth);
+        w.finish()
+    }
+
+    fn install(&self, ip: IpAddr, eth: EthAddr, ctx: &Ctx) {
+        self.cache.lock().insert(ip, Entry::Known(eth));
+        if let Some(ws) = self.waiters.lock().remove(&ip) {
+            for w in ws {
+                w.v(ctx);
+            }
+        }
+    }
+
+    /// Resolves `ip`, probing the wire if needed. `Err(Unreachable)` means
+    /// the host did not answer: it is not on this Ethernet.
+    pub fn resolve(&self, ctx: &Ctx, ip: IpAddr) -> XResult<EthAddr> {
+        if ip == self.my_ip {
+            return Ok(*self.my_eth.get().expect("arp booted"));
+        }
+        if ip.is_broadcast() {
+            return Ok(EthAddr::BROADCAST);
+        }
+        ctx.charge(ctx.cost().demux_lookup); // Cache lookup.
+        match self.cache.lock().get(&ip) {
+            Some(Entry::Known(e)) => return Ok(*e),
+            Some(Entry::NotLocal(at)) if ctx.now().saturating_sub(*at) < ARP_NEGATIVE_TTL_NS => {
+                return Err(XError::Unreachable(format!("{ip} not on local ethernet")))
+            }
+            _ => {}
+        }
+        let my_eth = *self.my_eth.get().expect("arp booted");
+        let bcast = self
+            .bcast
+            .get()
+            .ok_or_else(|| XError::Config("arp used before boot".into()))?;
+        for _attempt in 0..ARP_RETRIES {
+            let sema = SharedSema::new(0);
+            self.waiters
+                .lock()
+                .entry(ip)
+                .or_default()
+                .push(sema.clone());
+            let req = Self::encode(OP_REQUEST, self.my_ip, my_eth, ip, EthAddr::BROADCAST);
+            bcast.push(ctx, ctx.msg(req))?;
+            // In inline mode a live host has already answered during the
+            // push above; p_timeout returns immediately either way.
+            let _ = sema.p_timeout(ctx, ARP_TIMEOUT_NS);
+            if let Some(Entry::Known(e)) = self.cache.lock().get(&ip) {
+                return Ok(*e);
+            }
+        }
+        // Cache the negative result (with a TTL) so later opens fail fast,
+        // as the paper's proposed host table would.
+        self.cache.lock().insert(ip, Entry::NotLocal(ctx.now()));
+        self.waiters.lock().remove(&ip);
+        Err(XError::Unreachable(format!("{ip} not on local ethernet")))
+    }
+}
+
+impl Protocol for Arp {
+    fn name(&self) -> &'static str {
+        "arp"
+    }
+
+    fn id(&self) -> ProtoId {
+        self.me
+    }
+
+    fn boot(&self, ctx: &Ctx) -> XResult<()> {
+        let kernel = ctx.kernel();
+        let parts = ParticipantSet::local(Participant::proto(u32::from(eth_type::ARP)));
+        kernel.open_enable(ctx, self.eth, self.me, &parts)?;
+        let bparts = ParticipantSet::pair(
+            Participant::proto(u32::from(eth_type::ARP)),
+            Participant::default().with_eth(EthAddr::BROADCAST),
+        );
+        let sess = kernel.open(ctx, self.eth, self.me, &bparts)?;
+        let my_eth = sess.control(ctx, &ControlOp::GetMyEth)?.eth()?;
+        self.my_eth
+            .set(my_eth)
+            .map_err(|_| XError::Config("arp double boot".into()))?;
+        self.bcast
+            .set(sess)
+            .map_err(|_| XError::Config("arp double boot".into()))?;
+        Ok(())
+    }
+
+    fn open(&self, _ctx: &Ctx, _upper: ProtoId, _parts: &ParticipantSet) -> XResult<SessionRef> {
+        Err(XError::Unsupported("arp is control-only: use Resolve"))
+    }
+
+    fn open_enable(&self, _ctx: &Ctx, _upper: ProtoId, _parts: &ParticipantSet) -> XResult<()> {
+        Err(XError::Unsupported("arp is control-only"))
+    }
+
+    fn demux(&self, ctx: &Ctx, _lls: &SessionRef, mut msg: Message) -> XResult<()> {
+        let pkt = ctx.pop_header(&mut msg, ARP_PKT_LEN)?;
+        let mut r = WireReader::new(&pkt, "arp");
+        let op = r.u16()?;
+        let sip = r.ip()?;
+        let seth = r.eth()?;
+        let tip = r.ip()?;
+        let _teth = r.eth()?;
+        drop(pkt);
+
+        // Opportunistically learn the sender's mapping.
+        self.install(sip, seth, ctx);
+
+        if op == OP_REQUEST && tip == self.my_ip {
+            let my_eth = *self.my_eth.get().expect("arp booted");
+            let reply = Self::encode(OP_REPLY, self.my_ip, my_eth, sip, seth);
+            // Answer unicast to the requester.
+            let parts = ParticipantSet::pair(
+                Participant::proto(u32::from(eth_type::ARP)),
+                Participant::default().with_eth(seth),
+            );
+            let sess = ctx.kernel().open(ctx, self.eth, self.me, &parts)?;
+            sess.push(ctx, ctx.msg(reply))?;
+        }
+        Ok(())
+    }
+
+    fn control(&self, ctx: &Ctx, op: &ControlOp) -> XResult<ControlRes> {
+        match op {
+            ControlOp::Resolve(ip) => Ok(ControlRes::Eth(self.resolve(ctx, *ip)?)),
+            ControlOp::InstallResolve(ip, eth) => {
+                self.install(*ip, *eth, ctx);
+                Ok(ControlRes::Done)
+            }
+            ControlOp::GetMyHost => Ok(ControlRes::Ip(self.my_ip)),
+            ControlOp::GetMyEth => Ok(ControlRes::Eth(*self.my_eth.get().expect("arp booted"))),
+            ControlOp::Custom("flush", _) => {
+                self.cache.lock().clear();
+                Ok(ControlRes::Done)
+            }
+            _ => Err(XError::Unsupported("arp control")),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_roundtrip() {
+        let v = Arp::encode(
+            OP_REQUEST,
+            IpAddr::new(10, 0, 0, 1),
+            EthAddr::from_index(1),
+            IpAddr::new(10, 0, 0, 2),
+            EthAddr::BROADCAST,
+        );
+        assert_eq!(v.len(), ARP_PKT_LEN);
+        let mut r = WireReader::new(&v, "arp");
+        assert_eq!(r.u16().unwrap(), OP_REQUEST);
+        assert_eq!(r.ip().unwrap(), IpAddr::new(10, 0, 0, 1));
+        assert_eq!(r.eth().unwrap(), EthAddr::from_index(1));
+        assert_eq!(r.ip().unwrap(), IpAddr::new(10, 0, 0, 2));
+        assert_eq!(r.eth().unwrap(), EthAddr::BROADCAST);
+    }
+}

@@ -1,0 +1,162 @@
+//! ICMP — echo request/reply, enough to ping through any IP-like lower
+//! layer (including VIP, which is itself a nice demonstration that ICMP
+//! only depends on the *semantics* of IP).
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use xkernel::prelude::*;
+
+use crate::ip::ip_proto;
+
+/// ICMP header length: type(1) code(1) checksum(2) id(2) seq(2).
+pub const ICMP_HDR_LEN: usize = 8;
+
+const TYPE_ECHO_REPLY: u8 = 0;
+const TYPE_ECHO_REQUEST: u8 = 8;
+
+/// Default ping timeout (virtual ns).
+pub const PING_TIMEOUT_NS: u64 = 1_000_000_000;
+
+/// A parked ping: wake signal plus the slot the echoed payload lands in.
+type EchoWaiter = (SharedSema, Arc<Mutex<Option<Vec<u8>>>>);
+
+/// The ICMP protocol object.
+pub struct Icmp {
+    me: ProtoId,
+    lower: ProtoId,
+    next_seq: Mutex<u16>,
+    waiting: Mutex<HashMap<(u32, u16), EchoWaiter>>,
+}
+
+impl Icmp {
+    /// Creates ICMP above `lower`.
+    pub fn new(me: ProtoId, lower: ProtoId) -> Arc<Icmp> {
+        Arc::new(Icmp {
+            me,
+            lower,
+            next_seq: Mutex::new(0),
+            waiting: Mutex::new(HashMap::new()),
+        })
+    }
+
+    fn encode(ty: u8, id: u16, seq: u16, payload: &[u8]) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(ICMP_HDR_LEN + payload.len());
+        w.u8(ty).u8(0).u16(0).u16(id).u16(seq).bytes(payload);
+        let mut v = w.finish();
+        let ck = internet_checksum(&[&v]);
+        v[2..4].copy_from_slice(&ck.to_be_bytes());
+        v
+    }
+
+    /// Pings `dst` with `len` payload bytes; returns the echoed payload.
+    pub fn ping(&self, ctx: &Ctx, dst: IpAddr, len: usize) -> XResult<Vec<u8>> {
+        let seq = {
+            let mut s = self.next_seq.lock();
+            *s = s.wrapping_add(1);
+            *s
+        };
+        let payload: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        let sema = SharedSema::new(0);
+        let slot: Arc<Mutex<Option<Vec<u8>>>> = Arc::new(Mutex::new(None));
+        self.waiting
+            .lock()
+            .insert((dst.0, seq), (sema.clone(), Arc::clone(&slot)));
+
+        let parts = ParticipantSet::pair(
+            Participant::proto(u32::from(ip_proto::ICMP)),
+            Participant::host(dst),
+        );
+        let sess = ctx.kernel().open(ctx, self.lower, self.me, &parts)?;
+        let pkt = Self::encode(TYPE_ECHO_REQUEST, 1, seq, &payload);
+        sess.push(ctx, ctx.msg(pkt))?;
+        let got = sema.p_timeout(ctx, PING_TIMEOUT_NS) || slot.lock().is_some();
+        self.waiting.lock().remove(&(dst.0, seq));
+        if !got {
+            return Err(XError::Timeout(format!("ping {dst} seq {seq}")));
+        }
+        let data = slot.lock().take();
+        data.ok_or_else(|| XError::Timeout(format!("ping {dst} woke without data")))
+    }
+}
+
+impl Protocol for Icmp {
+    fn name(&self) -> &'static str {
+        "icmp"
+    }
+
+    fn id(&self) -> ProtoId {
+        self.me
+    }
+
+    fn boot(&self, ctx: &Ctx) -> XResult<()> {
+        let parts = ParticipantSet::local(Participant::proto(u32::from(ip_proto::ICMP)));
+        ctx.kernel().open_enable(ctx, self.lower, self.me, &parts)
+    }
+
+    fn open(&self, _ctx: &Ctx, _u: ProtoId, _p: &ParticipantSet) -> XResult<SessionRef> {
+        Err(XError::Unsupported("icmp: use ping()"))
+    }
+
+    fn open_enable(&self, _ctx: &Ctx, _u: ProtoId, _p: &ParticipantSet) -> XResult<()> {
+        Err(XError::Unsupported("icmp has no upper protocols"))
+    }
+
+    fn demux(&self, ctx: &Ctx, lls: &SessionRef, mut msg: Message) -> XResult<()> {
+        let total = msg.len();
+        if total < ICMP_HDR_LEN {
+            return Ok(());
+        }
+        let all = msg.peek(total)?;
+        if internet_checksum(&[&all]) != 0 {
+            ctx.trace("icmp", || "bad checksum".to_string());
+            return Ok(());
+        }
+        ctx.charge(total as u64 * ctx.cost().checksum_byte);
+        let hdr = ctx.pop_header(&mut msg, ICMP_HDR_LEN)?;
+        let mut r = WireReader::new(&hdr, "icmp");
+        let ty = r.u8()?;
+        let _code = r.u8()?;
+        let _ck = r.u16()?;
+        let id = r.u16()?;
+        let seq = r.u16()?;
+        drop(hdr);
+        match ty {
+            TYPE_ECHO_REQUEST => {
+                let payload = msg.to_vec();
+                let reply = Self::encode(TYPE_ECHO_REPLY, id, seq, &payload);
+                lls.push(ctx, ctx.msg(reply))?;
+                Ok(())
+            }
+            TYPE_ECHO_REPLY => {
+                let peer = lls.control(ctx, &ControlOp::GetPeerHost)?.ip()?;
+                if let Some((sema, slot)) = self.waiting.lock().get(&(peer.0, seq)) {
+                    *slot.lock() = Some(msg.to_vec());
+                    sema.v(ctx);
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_packet_checksums() {
+        let v = Icmp::encode(TYPE_ECHO_REQUEST, 7, 9, b"abc");
+        assert_eq!(v.len(), ICMP_HDR_LEN + 3);
+        assert_eq!(internet_checksum(&[&v]), 0);
+        assert_eq!(v[0], TYPE_ECHO_REQUEST);
+    }
+}

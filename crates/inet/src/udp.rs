@@ -1,0 +1,302 @@
+//! UDP — unreliable datagrams with ports.
+//!
+//! Standard 8-byte header and pseudo-header checksum. Two paper-relevant
+//! details are modelled faithfully:
+//!
+//! * UDP "sends arbitrarily large messages (i.e., it depends on IP to
+//!   fragment large messages)" — its `GetMaxMsgSize` answer to VIP is the
+//!   full 64 K, which is why VIP keeps an IP session under UDP.
+//! * Its addresses are two 16-bit ports, which "cannot be completely mapped
+//!   onto a single 8-bit IP protocol number" — the Section 5 reason moving
+//!   UDP *under* VIP is hard. [`Udp::new`] therefore requires a lower
+//!   protocol that can carry the full port space (IP or VIP), and the
+//!   sunrpc/psync crates compose it normally.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+
+use xkernel::prelude::*;
+
+use crate::ip::ip_proto;
+
+/// UDP header length.
+pub const UDP_HDR_LEN: usize = 8;
+/// Largest UDP payload (IP max payload minus our header).
+pub const UDP_MAX_PAYLOAD: usize = 65_515 - UDP_HDR_LEN;
+
+/// The UDP protocol object.
+pub struct Udp {
+    weak_self: Weak<Udp>,
+    me: ProtoId,
+    lower: ProtoId,
+    enables: Mutex<HashMap<Port, ProtoId>>,
+    // Active sessions keyed (local port, peer ip, peer port); passive
+    // sessions created by demux are cached here too.
+    sessions: Mutex<HashMap<(Port, u32, Port), SessionRef>>,
+    next_ephemeral: Mutex<Port>,
+}
+
+impl Udp {
+    /// Creates UDP above `lower` (IP, or any protocol with the same
+    /// host-addressed unreliable-delivery semantics).
+    pub fn new(me: ProtoId, lower: ProtoId) -> Arc<Udp> {
+        Arc::new_cyclic(|weak_self| Udp {
+            weak_self: weak_self.clone(),
+            me,
+            lower,
+            enables: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(HashMap::new()),
+            next_ephemeral: Mutex::new(49_152),
+        })
+    }
+
+    fn self_arc(&self) -> Arc<Udp> {
+        self.weak_self.upgrade().expect("udp protocol alive")
+    }
+
+    fn ports_of(parts: &ParticipantSet) -> XResult<(Port, IpAddr, Port)> {
+        let local = parts
+            .local_part()
+            .and_then(|p| p.port)
+            .ok_or_else(|| XError::Config("udp open needs a local port".into()))?;
+        let remote = parts
+            .remote_part()
+            .ok_or_else(|| XError::Config("udp open needs a peer".into()))?;
+        let rip = remote
+            .host
+            .ok_or_else(|| XError::Config("udp open needs a peer host".into()))?;
+        let rport = remote
+            .port
+            .ok_or_else(|| XError::Config("udp open needs a peer port".into()))?;
+        Ok((local, rip, rport))
+    }
+
+    /// Allocates an ephemeral local port (clients that don't care).
+    pub fn ephemeral_port(&self) -> Port {
+        let mut p = self.next_ephemeral.lock();
+        let out = *p;
+        *p = p.checked_add(1).unwrap_or(49_152);
+        out
+    }
+}
+
+/// A UDP session for one (local port, peer host, peer port) triple.
+pub struct UdpSession {
+    proto_id: ProtoId,
+    parent: Arc<Udp>,
+    local_port: Port,
+    peer: IpAddr,
+    peer_port: Port,
+    lower: SessionRef,
+}
+
+impl UdpSession {
+    fn checksum(&self, ctx: &Ctx, src: IpAddr, payload: &Message, hdr: &mut [u8]) -> XResult<()> {
+        // Pseudo-header: src, dst, zero+proto, udp length.
+        let mut pseudo = WireWriter::with_capacity(12);
+        pseudo
+            .ip(src)
+            .ip(self.peer)
+            .u8(0)
+            .u8(ip_proto::UDP)
+            .u16((payload.len() + UDP_HDR_LEN) as u16);
+        let pseudo = pseudo.finish();
+        let body = payload.to_vec();
+        ctx.charge((pseudo.len() + hdr.len() + body.len()) as u64 * ctx.cost().checksum_byte);
+        let ck = internet_checksum(&[&pseudo, hdr, &body]);
+        let ck = if ck == 0 { 0xffff } else { ck };
+        hdr[6..8].copy_from_slice(&ck.to_be_bytes());
+        Ok(())
+    }
+}
+
+impl Session for UdpSession {
+    fn protocol_id(&self) -> ProtoId {
+        self.proto_id
+    }
+
+    fn push(&self, ctx: &Ctx, mut msg: Message) -> XResult<Option<Message>> {
+        if msg.len() > UDP_MAX_PAYLOAD {
+            return Err(XError::TooBig {
+                size: msg.len(),
+                max: UDP_MAX_PAYLOAD,
+            });
+        }
+        let mut w = WireWriter::with_capacity(UDP_HDR_LEN);
+        w.u16(self.local_port)
+            .u16(self.peer_port)
+            .u16((msg.len() + UDP_HDR_LEN) as u16)
+            .u16(0);
+        let mut hdr = w.finish();
+        // The UDP checksum is *optional* (checksum field 0 = not computed),
+        // and it needs the IP pseudo-header. Over a lower layer that has no
+        // host addresses — VIP's raw-Ethernet path — we send without it,
+        // which is exactly what lets UDP sit above a virtual protocol
+        // (Figure 2) where TCP, whose checksum is mandatory, cannot.
+        if let Ok(r) = self.lower.control(ctx, &ControlOp::GetMyHost) {
+            let src = r.ip()?;
+            self.checksum(ctx, src, &msg, &mut hdr)?;
+        }
+        ctx.push_header(&mut msg, &hdr);
+        ctx.charge_layer_call();
+        self.lower.push(ctx, msg)
+    }
+
+    fn control(&self, ctx: &Ctx, op: &ControlOp) -> XResult<ControlRes> {
+        match op {
+            ControlOp::GetMaxPacket => Ok(ControlRes::Size(UDP_MAX_PAYLOAD)),
+            ControlOp::GetMyPort => Ok(ControlRes::Port(self.local_port)),
+            ControlOp::GetPeerPort => Ok(ControlRes::Port(self.peer_port)),
+            ControlOp::GetPeerHost => Ok(ControlRes::Ip(self.peer)),
+            other => self.lower.control(ctx, other),
+        }
+    }
+
+    fn close(&self, _ctx: &Ctx) -> XResult<()> {
+        self.parent
+            .sessions
+            .lock()
+            .remove(&(self.local_port, self.peer.0, self.peer_port));
+        Ok(())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+impl Protocol for Udp {
+    fn name(&self) -> &'static str {
+        "udp"
+    }
+
+    fn id(&self) -> ProtoId {
+        self.me
+    }
+
+    fn boot(&self, ctx: &Ctx) -> XResult<()> {
+        let parts = ParticipantSet::local(Participant::proto(u32::from(ip_proto::UDP)));
+        ctx.kernel().open_enable(ctx, self.lower, self.me, &parts)
+    }
+
+    fn open(&self, ctx: &Ctx, _upper: ProtoId, parts: &ParticipantSet) -> XResult<SessionRef> {
+        let (local, rip, rport) = Self::ports_of(parts)?;
+        if let Some(s) = self.sessions.lock().get(&(local, rip.0, rport)) {
+            return Ok(Arc::clone(s));
+        }
+        ctx.charge(ctx.cost().session_create);
+        let lparts = ParticipantSet::pair(
+            Participant::proto(u32::from(ip_proto::UDP)),
+            Participant::host(rip),
+        );
+        let lower = ctx.kernel().open(ctx, self.lower, self.me, &lparts)?;
+        let s: SessionRef = Arc::new(UdpSession {
+            proto_id: self.me,
+            parent: self.self_arc(),
+            local_port: local,
+            peer: rip,
+            peer_port: rport,
+            lower,
+        });
+        self.sessions
+            .lock()
+            .insert((local, rip.0, rport), Arc::clone(&s));
+        Ok(s)
+    }
+
+    fn open_enable(&self, _ctx: &Ctx, upper: ProtoId, parts: &ParticipantSet) -> XResult<()> {
+        let port = parts
+            .local_part()
+            .and_then(|p| p.port)
+            .ok_or_else(|| XError::Config("udp enable needs a local port".into()))?;
+        self.enables.lock().insert(port, upper);
+        Ok(())
+    }
+
+    fn demux(&self, ctx: &Ctx, lls: &SessionRef, mut msg: Message) -> XResult<()> {
+        let hdr = ctx.pop_header(&mut msg, UDP_HDR_LEN)?;
+        let mut r = WireReader::new(&hdr, "udp");
+        let src_port = r.u16()?;
+        let dst_port = r.u16()?;
+        let length = r.u16()?;
+        let _ck = r.u16()?;
+        drop(hdr);
+        let payload_len = usize::from(length).saturating_sub(UDP_HDR_LEN);
+        if msg.len() < payload_len {
+            ctx.trace("udp", || "truncated datagram dropped".to_string());
+            return Ok(());
+        }
+        msg.truncate(payload_len);
+        // Checksum verification cost (we trust the simulated wire plus the
+        // corruption fault already flips bytes the IP checksum misses; a
+        // full verify here charges the same work the real stack does).
+        ctx.charge((UDP_HDR_LEN + msg.len()) as u64 * ctx.cost().checksum_byte);
+
+        ctx.charge(ctx.cost().demux_lookup);
+        let upper = self
+            .enables
+            .lock()
+            .get(&dst_port)
+            .copied()
+            .ok_or_else(|| XError::NoEnable(format!("udp port {dst_port}")))?;
+        // Over VIP's raw-Ethernet path the lower session has no internet
+        // address for the peer; key the session on the unspecified address
+        // (replies still work — the lls is addressed back to the sender).
+        let peer = lls
+            .control(ctx, &ControlOp::GetPeerHost)
+            .and_then(|r| r.ip())
+            .unwrap_or(IpAddr::ANY);
+        let sess = {
+            let mut cache = self.sessions.lock();
+            match cache.get(&(dst_port, peer.0, src_port)) {
+                Some(s) => Arc::clone(s),
+                None => {
+                    ctx.charge(ctx.cost().session_create);
+                    let s: SessionRef = Arc::new(UdpSession {
+                        proto_id: self.me,
+                        parent: self.self_arc(),
+                        local_port: dst_port,
+                        peer,
+                        peer_port: src_port,
+                        lower: Arc::clone(lls),
+                    });
+                    cache.insert((dst_port, peer.0, src_port), Arc::clone(&s));
+                    s
+                }
+            }
+        };
+        ctx.kernel().demux_to(ctx, upper, &sess, msg)
+    }
+
+    fn control(&self, ctx: &Ctx, op: &ControlOp) -> XResult<ControlRes> {
+        match op {
+            ControlOp::GetMaxPacket => Ok(ControlRes::Size(UDP_MAX_PAYLOAD)),
+            // Asked by VIP: UDP relies on the layer below to fragment, so it
+            // may push messages up to the full IP payload.
+            ControlOp::GetMaxMsgSize => Ok(ControlRes::Size(UDP_MAX_PAYLOAD + UDP_HDR_LEN)),
+            _ => {
+                let _ = ctx;
+                Err(XError::Unsupported("udp control"))
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_is_8_bytes() {
+        let mut w = WireWriter::with_capacity(UDP_HDR_LEN);
+        w.u16(1).u16(2).u16(8).u16(0);
+        assert_eq!(w.finish().len(), UDP_HDR_LEN);
+    }
+}

@@ -1,0 +1,195 @@
+//! Deterministic fault injection for the simulated wire.
+//!
+//! The paper's latency/throughput tests run on an isolated, essentially
+//! loss-free Ethernet, but the protocols' interesting machinery (FRAGMENT's
+//! persistence, CHANNEL's retransmission and at-most-once filtering) only
+//! executes under faults. A [`FaultPlan`] decides, per transmitted packet,
+//! whether to deliver, drop, duplicate, corrupt, or delay it. Decisions are
+//! driven by the simulation's seeded PRNG and/or an explicit script, so every
+//! failure scenario is exactly reproducible.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// What should happen to one transmitted packet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultDecision {
+    /// Deliver normally.
+    Deliver,
+    /// Silently drop.
+    Drop,
+    /// Deliver two copies.
+    Duplicate,
+    /// Deliver with one byte flipped (checksummed protocols must reject it).
+    Corrupt,
+    /// Deliver, delayed by the given extra nanoseconds (causes reordering).
+    Delay(u64),
+}
+
+/// A per-packet fault predicate (packet index on this LAN, frame bytes).
+pub type FaultFn = Arc<dyn Fn(u64, &[u8]) -> FaultDecision + Send + Sync>;
+
+/// Fault configuration for one LAN segment.
+#[derive(Clone, Default)]
+pub struct FaultPlan {
+    /// Probability of dropping a packet, in per-mille (0..=1000).
+    pub drop_per_mille: u32,
+    /// Probability of duplicating a packet, in per-mille.
+    pub dup_per_mille: u32,
+    /// Probability of corrupting a packet, in per-mille.
+    pub corrupt_per_mille: u32,
+    /// Maximum random extra delay (ns); non-zero values cause reordering.
+    pub jitter_ns: u64,
+    /// Packet indices (0-based, per LAN) to drop unconditionally.
+    pub drop_script: HashSet<u64>,
+    /// Arbitrary custom decision, consulted first when present.
+    pub custom: Option<FaultFn>,
+}
+
+impl FaultPlan {
+    /// A plan that never injects faults.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A plan that drops packets with the given per-mille probability.
+    pub fn lossy(drop_per_mille: u32) -> FaultPlan {
+        FaultPlan {
+            drop_per_mille,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan that drops exactly the listed packet indices.
+    pub fn drop_exactly(indices: impl IntoIterator<Item = u64>) -> FaultPlan {
+        FaultPlan {
+            drop_script: indices.into_iter().collect(),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// True when the plan can never perturb a packet (fast path).
+    pub fn is_none(&self) -> bool {
+        self.drop_per_mille == 0
+            && self.dup_per_mille == 0
+            && self.corrupt_per_mille == 0
+            && self.jitter_ns == 0
+            && self.drop_script.is_empty()
+            && self.custom.is_none()
+    }
+
+    /// Decides the fate of packet `index` with frame contents `frame`;
+    /// `rng` supplies fresh deterministic randomness per call.
+    pub fn decide(&self, index: u64, frame: &[u8], mut rng: impl FnMut() -> u64) -> FaultDecision {
+        if let Some(f) = &self.custom {
+            let d = f(index, frame);
+            if d != FaultDecision::Deliver {
+                return d;
+            }
+        }
+        if self.drop_script.contains(&index) {
+            return FaultDecision::Drop;
+        }
+        if self.drop_per_mille > 0 && rng() % 1000 < u64::from(self.drop_per_mille) {
+            return FaultDecision::Drop;
+        }
+        if self.dup_per_mille > 0 && rng() % 1000 < u64::from(self.dup_per_mille) {
+            return FaultDecision::Duplicate;
+        }
+        if self.corrupt_per_mille > 0 && rng() % 1000 < u64::from(self.corrupt_per_mille) {
+            return FaultDecision::Corrupt;
+        }
+        if self.jitter_ns > 0 {
+            return FaultDecision::Delay(rng() % self.jitter_ns);
+        }
+        FaultDecision::Deliver
+    }
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("drop_per_mille", &self.drop_per_mille)
+            .field("dup_per_mille", &self.dup_per_mille)
+            .field("corrupt_per_mille", &self.corrupt_per_mille)
+            .field("jitter_ns", &self.jitter_ns)
+            .field("drop_script", &self.drop_script)
+            .field("custom", &self.custom.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed_rng(vals: Vec<u64>) -> impl FnMut() -> u64 {
+        let mut it = vals.into_iter().cycle();
+        move || it.next().unwrap()
+    }
+
+    #[test]
+    fn none_plan_always_delivers() {
+        let p = FaultPlan::none();
+        assert!(p.is_none());
+        for i in 0..100 {
+            assert_eq!(
+                p.decide(i, &[0], fixed_rng(vec![i])),
+                FaultDecision::Deliver
+            );
+        }
+    }
+
+    #[test]
+    fn script_drops_exact_indices() {
+        let p = FaultPlan::drop_exactly([3, 5]);
+        assert_eq!(p.decide(3, &[], fixed_rng(vec![999])), FaultDecision::Drop);
+        assert_eq!(p.decide(5, &[], fixed_rng(vec![999])), FaultDecision::Drop);
+        assert_eq!(
+            p.decide(4, &[], fixed_rng(vec![999])),
+            FaultDecision::Deliver
+        );
+    }
+
+    #[test]
+    fn probabilistic_drop_uses_rng() {
+        let p = FaultPlan::lossy(500);
+        assert_eq!(p.decide(0, &[], fixed_rng(vec![499])), FaultDecision::Drop);
+        assert_eq!(
+            p.decide(0, &[], fixed_rng(vec![500])),
+            FaultDecision::Deliver
+        );
+    }
+
+    #[test]
+    fn custom_takes_precedence() {
+        let p = FaultPlan {
+            custom: Some(Arc::new(|i, _| {
+                if i == 7 {
+                    FaultDecision::Duplicate
+                } else {
+                    FaultDecision::Deliver
+                }
+            })),
+            drop_script: [7u64].into_iter().collect(),
+            ..FaultPlan::default()
+        };
+        // Custom says duplicate before the script can drop.
+        assert_eq!(
+            p.decide(7, &[], fixed_rng(vec![0])),
+            FaultDecision::Duplicate
+        );
+    }
+
+    #[test]
+    fn jitter_delays() {
+        let p = FaultPlan {
+            jitter_ns: 100,
+            ..FaultPlan::default()
+        };
+        match p.decide(0, &[], fixed_rng(vec![42])) {
+            FaultDecision::Delay(d) => assert!(d < 100),
+            other => panic!("expected delay, got {other:?}"),
+        }
+    }
+}

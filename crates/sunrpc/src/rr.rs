@@ -1,0 +1,352 @@
+//! REQUEST_REPLY — Sun RPC's transaction layer, with *zero-or-more*
+//! execution semantics.
+//!
+//! The client stamps each call with a transaction id (xid), retransmits on
+//! timeout, and accepts the first matching reply. The server is stateless:
+//! it executes every call it receives — so a retransmitted request can
+//! execute **more than once** (and a lost one, zero times). This is exactly
+//! the semantic contrast the paper's Mix-and-Match discussion draws: "one
+//! can replace the REQUEST_REPLY protocol (which has zero or more
+//! semantics) with the CHANNEL protocol (which has at most once semantics)"
+//! — the two are interchangeable under SUN_SELECT because both are
+//! request/reply transaction layers with the same interface.
+//!
+//! Header (XDR): xid, message type (0 = call, 1 = reply), protocol number.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, Weak};
+
+use parking_lot::Mutex;
+
+use xkernel::prelude::*;
+use xkernel::sim::Nanos;
+
+use crate::xdr::{XdrReader, XdrWriter};
+use xrpc::protnum::rel_proto_num;
+
+/// Encoded header length.
+pub const RR_HDR_LEN: usize = 12;
+
+const MSG_CALL: u32 = 0;
+const MSG_REPLY: u32 = 1;
+
+/// The well-known UDP port used when REQUEST_REPLY is composed over UDP.
+pub const RR_UDP_PORT: Port = 111;
+
+/// Tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct RrConfig {
+    /// Retransmission timeout.
+    pub timeout_ns: Nanos,
+    /// Retransmissions before giving up.
+    pub max_retries: u32,
+}
+
+impl Default for RrConfig {
+    fn default() -> RrConfig {
+        RrConfig {
+            timeout_ns: 150_000_000,
+            max_retries: 6,
+        }
+    }
+}
+
+fn encode_hdr(xid: u32, mtype: u32, proto_num: u32) -> Vec<u8> {
+    let mut w = XdrWriter::new();
+    w.u32(xid).u32(mtype).u32(proto_num);
+    w.finish()
+}
+
+struct Out {
+    sema: SharedSema,
+    reply: Option<Message>,
+}
+
+/// The REQUEST_REPLY protocol object.
+pub struct RequestReply {
+    weak_self: Weak<RequestReply>,
+    me: ProtoId,
+    lower: ProtoId,
+    cfg: RrConfig,
+    lower_name: OnceLock<&'static str>,
+    next_xid: Mutex<u32>,
+    enables: Mutex<HashMap<u32, ProtoId>>,
+    outstanding: Mutex<HashMap<u32, Out>>,
+    sessions: Mutex<HashMap<(u32, u32), SessionRef>>,
+    lowers: Mutex<HashMap<u32, SessionRef>>,
+}
+
+impl RequestReply {
+    /// Creates REQUEST_REPLY above `lower` (UDP, IP, VIP, or FRAGMENT).
+    pub fn new(me: ProtoId, lower: ProtoId, cfg: RrConfig) -> Arc<RequestReply> {
+        Arc::new_cyclic(|weak_self| RequestReply {
+            weak_self: weak_self.clone(),
+            me,
+            lower,
+            cfg,
+            lower_name: OnceLock::new(),
+            next_xid: Mutex::new(0),
+            enables: Mutex::new(HashMap::new()),
+            outstanding: Mutex::new(HashMap::new()),
+            sessions: Mutex::new(HashMap::new()),
+            lowers: Mutex::new(HashMap::new()),
+        })
+    }
+
+    fn self_arc(&self) -> Arc<RequestReply> {
+        self.weak_self.upgrade().expect("request_reply alive")
+    }
+
+    fn lower_parts(&self, peer: Option<IpAddr>) -> XResult<ParticipantSet> {
+        let lname = self.lower_name.get().expect("request_reply booted");
+        if *lname == "udp" {
+            let local = Participant::default().with_port(RR_UDP_PORT);
+            return Ok(match peer {
+                None => ParticipantSet::local(local),
+                Some(p) => ParticipantSet::pair(local, Participant::host_port(p, RR_UDP_PORT)),
+            });
+        }
+        let local = Participant::proto(rel_proto_num(lname, "request_reply")?);
+        Ok(match peer {
+            None => ParticipantSet::local(local),
+            Some(p) => ParticipantSet::pair(local, Participant::host(p)),
+        })
+    }
+
+    fn lower_for(&self, ctx: &Ctx, peer: IpAddr) -> XResult<SessionRef> {
+        if let Some(s) = self.lowers.lock().get(&peer.0) {
+            return Ok(Arc::clone(s));
+        }
+        let parts = self.lower_parts(Some(peer))?;
+        let s = ctx.kernel().open(ctx, self.lower, self.me, &parts)?;
+        self.lowers.lock().insert(peer.0, Arc::clone(&s));
+        Ok(s)
+    }
+
+    /// One transaction: send, await the first matching reply, retransmit on
+    /// timeout. Zero-or-more: no duplicate suppression anywhere.
+    fn transact(&self, ctx: &Ctx, peer: IpAddr, proto_num: u32, msg: Message) -> XResult<Message> {
+        let lower = self.lower_for(ctx, peer)?;
+        let xid = {
+            let mut x = self.next_xid.lock();
+            *x = x.wrapping_add(1);
+            *x
+        };
+        let sema = SharedSema::new(0);
+        self.outstanding.lock().insert(
+            xid,
+            Out {
+                sema: sema.clone(),
+                reply: None,
+            },
+        );
+        let hdr = encode_hdr(xid, MSG_CALL, proto_num);
+        let mut attempts = 0;
+        loop {
+            let mut wire = msg.clone();
+            ctx.push_header(&mut wire, &hdr);
+            ctx.charge_layer_call();
+            lower.push(ctx, wire)?;
+            let _ = sema.p_timeout(ctx, self.cfg.timeout_ns);
+            {
+                let mut out = self.outstanding.lock();
+                if let Some(o) = out.get_mut(&xid) {
+                    if let Some(reply) = o.reply.take() {
+                        out.remove(&xid);
+                        return Ok(reply);
+                    }
+                }
+            }
+            attempts += 1;
+            if attempts > self.cfg.max_retries || ctx.mode() == Mode::Inline {
+                self.outstanding.lock().remove(&xid);
+                return Err(XError::Timeout(format!(
+                    "request_reply xid {xid} to {peer} after {attempts} attempts"
+                )));
+            }
+        }
+    }
+}
+
+/// A client session towards one (peer, high-level protocol); stateless, so
+/// concurrent pushes are fine (each gets its own xid).
+pub struct RrClientSession {
+    parent: Arc<RequestReply>,
+    peer: IpAddr,
+    proto_num: u32,
+}
+
+impl Session for RrClientSession {
+    fn protocol_id(&self) -> ProtoId {
+        self.parent.me
+    }
+
+    fn push(&self, ctx: &Ctx, msg: Message) -> XResult<Option<Message>> {
+        self.parent
+            .transact(ctx, self.peer, self.proto_num, msg)
+            .map(Some)
+    }
+
+    fn control(&self, ctx: &Ctx, op: &ControlOp) -> XResult<ControlRes> {
+        match op {
+            ControlOp::GetPeerHost => Ok(ControlRes::Ip(self.peer)),
+            other => {
+                let lower = self.parent.lower_for(ctx, self.peer)?;
+                lower.control(ctx, other)
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// A per-request server session: pushing into it sends the reply for the
+/// request it was created for.
+pub struct RrServerSession {
+    parent: Arc<RequestReply>,
+    xid: u32,
+    proto_num: u32,
+    lls: SessionRef,
+}
+
+impl Session for RrServerSession {
+    fn protocol_id(&self) -> ProtoId {
+        self.parent.me
+    }
+
+    fn push(&self, ctx: &Ctx, msg: Message) -> XResult<Option<Message>> {
+        let hdr = encode_hdr(self.xid, MSG_REPLY, self.proto_num);
+        let mut wire = msg;
+        ctx.push_header(&mut wire, &hdr);
+        ctx.charge_layer_call();
+        self.lls.push(ctx, wire)?;
+        Ok(None)
+    }
+
+    fn control(&self, ctx: &Ctx, op: &ControlOp) -> XResult<ControlRes> {
+        self.lls.control(ctx, op)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+impl Protocol for RequestReply {
+    fn name(&self) -> &'static str {
+        "request_reply"
+    }
+
+    fn id(&self) -> ProtoId {
+        self.me
+    }
+
+    fn boot(&self, ctx: &Ctx) -> XResult<()> {
+        let kernel = ctx.kernel();
+        let lower = kernel.proto(self.lower)?;
+        self.lower_name
+            .set(lower.name())
+            .map_err(|_| XError::Config("request_reply double boot".into()))?;
+        let parts = self.lower_parts(None)?;
+        kernel.open_enable(ctx, self.lower, self.me, &parts)
+    }
+
+    fn open(&self, ctx: &Ctx, _upper: ProtoId, parts: &ParticipantSet) -> XResult<SessionRef> {
+        let proto_num = parts
+            .local_part()
+            .and_then(|p| p.proto_num)
+            .ok_or_else(|| XError::Config("request_reply open needs a protocol number".into()))?;
+        let peer = parts
+            .remote_part()
+            .and_then(|p| p.host)
+            .ok_or_else(|| XError::Config("request_reply open needs a peer host".into()))?;
+        if let Some(s) = self.sessions.lock().get(&(peer.0, proto_num)) {
+            return Ok(Arc::clone(s));
+        }
+        ctx.charge(ctx.cost().session_create);
+        let s: SessionRef = Arc::new(RrClientSession {
+            parent: self.self_arc(),
+            peer,
+            proto_num,
+        });
+        self.sessions
+            .lock()
+            .insert((peer.0, proto_num), Arc::clone(&s));
+        Ok(s)
+    }
+
+    fn open_enable(&self, _ctx: &Ctx, upper: ProtoId, parts: &ParticipantSet) -> XResult<()> {
+        let proto_num = parts
+            .local_part()
+            .and_then(|p| p.proto_num)
+            .ok_or_else(|| XError::Config("request_reply enable needs a protocol number".into()))?;
+        self.enables.lock().insert(proto_num, upper);
+        Ok(())
+    }
+
+    fn demux(&self, ctx: &Ctx, lls: &SessionRef, mut msg: Message) -> XResult<()> {
+        let bytes = ctx.pop_header(&mut msg, RR_HDR_LEN)?;
+        let mut r = XdrReader::new(&bytes);
+        let xid = r.u32()?;
+        let mtype = r.u32()?;
+        let proto_num = r.u32()?;
+        drop(bytes);
+        ctx.charge(ctx.cost().demux_lookup);
+        match mtype {
+            MSG_CALL => {
+                let upper = self
+                    .enables
+                    .lock()
+                    .get(&proto_num)
+                    .copied()
+                    .ok_or_else(|| XError::NoEnable(format!("request_reply proto {proto_num}")))?;
+                ctx.charge(ctx.cost().session_create);
+                let sess: SessionRef = Arc::new(RrServerSession {
+                    parent: self.self_arc(),
+                    xid,
+                    proto_num,
+                    lls: Arc::clone(lls),
+                });
+                ctx.kernel().demux_to(ctx, upper, &sess, msg)
+            }
+            MSG_REPLY => {
+                let mut out = self.outstanding.lock();
+                if let Some(o) = out.get_mut(&xid) {
+                    if o.reply.is_none() {
+                        o.reply = Some(msg);
+                        let sema = o.sema.clone();
+                        drop(out);
+                        sema.v(ctx);
+                    }
+                }
+                // Unknown xid: a reply to a transaction we gave up on, or a
+                // duplicate — zero-or-more semantics, just drop it.
+                Ok(())
+            }
+            other => {
+                ctx.trace("request_reply", || format!("unknown mtype {other}"));
+                Ok(())
+            }
+        }
+    }
+
+    fn control(&self, ctx: &Ctx, op: &ControlOp) -> XResult<ControlRes> {
+        match op {
+            ControlOp::GetMaxMsgSize => Ok(ControlRes::Size(1500)),
+            ControlOp::GetMaxPacket => {
+                let r = ctx
+                    .kernel()
+                    .control(ctx, self.lower, &ControlOp::GetMaxPacket)?;
+                Ok(ControlRes::Size(r.size()?.saturating_sub(RR_HDR_LEN)))
+            }
+            _ => Err(XError::Unsupported("request_reply control")),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type shared by the whole protocol suite.
+
+use core::fmt;
+
+/// Result alias used across the workspace.
+pub type XResult<T> = Result<T, XError>;
+
+/// Errors surfaced by the uniform protocol interface.
+///
+/// The original x-kernel returned `XK_FAILURE`-style codes; we keep the set
+/// small and structured so callers can react to the cases that matter
+/// (timeouts, unreachable peers) and propagate the rest.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum XError {
+    /// An `open` could not find or reach the requested peer.
+    Unreachable(String),
+    /// No enable (passive open) matched an incoming message; the message is
+    /// dropped, mirroring `xDemux` failure in the x-kernel.
+    NoEnable(String),
+    /// A blocking operation exceeded its timeout (e.g. an RPC whose server
+    /// never answered).
+    Timeout(String),
+    /// A header failed to decode; carries a human-readable reason.
+    Malformed(String),
+    /// The peer answered with an RPC-level error status.
+    Remote(String),
+    /// An operation was invoked on an object that does not support it
+    /// (e.g. an unsupported control op).
+    Unsupported(&'static str),
+    /// A message exceeded the maximum size the session can carry.
+    TooBig {
+        /// Offending message length in bytes.
+        size: usize,
+        /// The maximum the session can carry.
+        max: usize,
+    },
+    /// Misuse of the interface that indicates a configuration bug
+    /// (unknown protocol id, missing lower capability, ...).
+    Config(String),
+    /// The session or kernel is shutting down.
+    Closed,
+}
+
+impl fmt::Display for XError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XError::Unreachable(s) => write!(f, "unreachable: {s}"),
+            XError::NoEnable(s) => write!(f, "no enable matches: {s}"),
+            XError::Timeout(s) => write!(f, "timed out: {s}"),
+            XError::Malformed(s) => write!(f, "malformed message: {s}"),
+            XError::Remote(s) => write!(f, "remote error: {s}"),
+            XError::Unsupported(s) => write!(f, "unsupported operation: {s}"),
+            XError::TooBig { size, max } => {
+                write!(f, "message of {size} bytes exceeds maximum {max}")
+            }
+            XError::Config(s) => write!(f, "configuration error: {s}"),
+            XError::Closed => write!(f, "object closed"),
+        }
+    }
+}
+
+impl std::error::Error for XError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            XError::TooBig { size: 9, max: 4 }.to_string(),
+            "message of 9 bytes exceeds maximum 4"
+        );
+        assert!(XError::Timeout("rpc 3".into())
+            .to_string()
+            .contains("rpc 3"));
+        assert!(XError::Closed.to_string().contains("closed"));
+    }
+}

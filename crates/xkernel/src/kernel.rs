@@ -1,0 +1,217 @@
+//! The per-host kernel: a registry of protocol objects.
+//!
+//! Each simulated host runs one `Kernel`. Protocols are identified by
+//! [`ProtoId`] capabilities handed out when the graph is configured; a
+//! protocol can only reach the lower protocols whose ids it was given,
+//! and binds to them at run time ("late binding between protocol layers").
+//!
+//! [`Kernel::demux_to`] is the single choke point through which every
+//! message travels upward; it charges exactly one layer-crossing cost,
+//! which is what makes layers in this kernel "light-weight ... only one
+//! procedure call to pass a message from a high-level protocol to a
+//! low-level protocol, and vice versa".
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::RwLock;
+
+use crate::addr::ParticipantSet;
+use crate::error::{XError, XResult};
+use crate::msg::Message;
+use crate::proto::{ControlOp, ControlRes, ProtoId, ProtocolRef, SessionRef};
+use crate::sim::{Ctx, HostId, Sim};
+
+/// A host's kernel: protocol registry plus identity.
+pub struct Kernel {
+    sim: Sim,
+    name: String,
+    host: OnceLock<HostId>,
+    protocols: RwLock<Vec<Option<ProtocolRef>>>,
+    by_name: RwLock<HashMap<String, ProtoId>>,
+}
+
+impl Kernel {
+    /// Creates a kernel and registers it with the simulator, allocating its
+    /// host id.
+    pub fn new(sim: &Sim, name: &str) -> Arc<Kernel> {
+        let k = Arc::new(Kernel {
+            sim: sim.clone(),
+            name: name.to_string(),
+            host: OnceLock::new(),
+            protocols: RwLock::new(Vec::new()),
+            by_name: RwLock::new(HashMap::new()),
+        });
+        let host = sim.add_kernel(&k);
+        k.host.set(host).expect("host id set exactly once");
+        k
+    }
+
+    /// The simulator this kernel belongs to.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// This kernel's host id.
+    pub fn host(&self) -> HostId {
+        *self.host.get().expect("host id assigned at construction")
+    }
+
+    /// The kernel's configured name (e.g. `"client"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Reserves a protocol id under `name` so the protocol can be
+    /// constructed knowing its own capability, then installed.
+    pub fn reserve(&self, name: &str) -> XResult<ProtoId> {
+        let mut names = self.by_name.write();
+        if names.contains_key(name) {
+            return Err(XError::Config(format!(
+                "protocol '{name}' already configured on {}",
+                self.name
+            )));
+        }
+        let mut ps = self.protocols.write();
+        let id = ProtoId(ps.len());
+        ps.push(None);
+        names.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Installs a constructed protocol into its reserved slot.
+    pub fn install(&self, id: ProtoId, proto: ProtocolRef) -> XResult<()> {
+        let mut ps = self.protocols.write();
+        let slot = ps
+            .get_mut(id.0)
+            .ok_or_else(|| XError::Config(format!("install of unreserved id {id:?}")))?;
+        if slot.is_some() {
+            return Err(XError::Config(format!("double install of {id:?}")));
+        }
+        *slot = Some(proto);
+        Ok(())
+    }
+
+    /// Convenience: reserve + construct + install in one step.
+    pub fn register<F>(&self, name: &str, ctor: F) -> XResult<ProtoId>
+    where
+        F: FnOnce(ProtoId) -> XResult<ProtocolRef>,
+    {
+        let id = self.reserve(name)?;
+        let proto = ctor(id)?;
+        self.install(id, proto)?;
+        Ok(id)
+    }
+
+    /// Resolves a configured protocol name to its id.
+    pub fn lookup(&self, name: &str) -> XResult<ProtoId> {
+        self.by_name
+            .read()
+            .get(name)
+            .copied()
+            .ok_or_else(|| XError::Config(format!("no protocol '{name}' on {}", self.name)))
+    }
+
+    /// The protocol object behind an id.
+    pub fn proto(&self, id: ProtoId) -> XResult<ProtocolRef> {
+        self.protocols
+            .read()
+            .get(id.0)
+            .and_then(|p| p.clone())
+            .ok_or_else(|| XError::Config(format!("protocol id {id:?} not installed")))
+    }
+
+    /// The protocol object behind a name.
+    pub fn get(&self, name: &str) -> XResult<ProtocolRef> {
+        self.proto(self.lookup(name)?)
+    }
+
+    /// Names of all configured protocols, in configuration order.
+    pub fn protocol_names(&self) -> Vec<String> {
+        let names = self.by_name.read();
+        let mut v: Vec<(ProtoId, String)> = names.iter().map(|(n, id)| (*id, n.clone())).collect();
+        v.sort();
+        v.into_iter().map(|(_, n)| n).collect()
+    }
+
+    /// Passes a message up to protocol `upper` — the one-procedure-call
+    /// layer crossing. `lls` is the lower session the message arrived on.
+    pub fn demux_to(
+        &self,
+        ctx: &Ctx,
+        upper: ProtoId,
+        lls: &SessionRef,
+        msg: Message,
+    ) -> XResult<()> {
+        ctx.charge_layer_call();
+        self.proto(upper)?.demux(ctx, lls, msg)
+    }
+
+    /// Opens lower protocol `lower` on behalf of `upper` — the downward
+    /// layer crossing at session-creation time.
+    pub fn open(
+        &self,
+        ctx: &Ctx,
+        lower: ProtoId,
+        upper: ProtoId,
+        parts: &ParticipantSet,
+    ) -> XResult<SessionRef> {
+        ctx.charge_layer_call();
+        self.proto(lower)?.open(ctx, upper, parts)
+    }
+
+    /// Enables passive opens on `lower` for `upper`.
+    pub fn open_enable(
+        &self,
+        ctx: &Ctx,
+        lower: ProtoId,
+        upper: ProtoId,
+        parts: &ParticipantSet,
+    ) -> XResult<()> {
+        ctx.charge_layer_call();
+        self.proto(lower)?.open_enable(ctx, upper, parts)
+    }
+
+    /// Invokes a protocol's control operation by id.
+    pub fn control(&self, ctx: &Ctx, id: ProtoId, op: &ControlOp) -> XResult<ControlRes> {
+        ctx.charge_layer_call();
+        self.proto(id)?.control(ctx, op)
+    }
+
+    /// Notifies `upper` that `lower` passively created session `lls`
+    /// (the open-done upcall).
+    pub fn open_done(
+        &self,
+        ctx: &Ctx,
+        upper: ProtoId,
+        lower: ProtoId,
+        lls: &SessionRef,
+        parts: &ParticipantSet,
+    ) -> XResult<()> {
+        ctx.charge_layer_call();
+        self.proto(upper)?.open_done(ctx, lower, lls, parts)
+    }
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("name", &self.name)
+            .field("host", &self.host.get())
+            .field("protocols", &self.protocol_names())
+            .finish()
+    }
+}
+
+/// Re-exported for implementors: everything a protocol module usually needs.
+pub mod prelude {
+    pub use crate::addr::{EthAddr, IpAddr, Participant, ParticipantSet, Port};
+    pub use crate::error::{XError, XResult};
+    pub use crate::kernel::Kernel;
+    pub use crate::msg::Message;
+    pub use crate::proto::{
+        ControlOp, ControlRes, ProtoId, Protocol, ProtocolRef, Session, SessionRef,
+    };
+    pub use crate::sim::{Ctx, HostId, Mode, SharedSema, Sim, TimerHandle};
+    pub use crate::wire::{internet_checksum, WireReader, WireWriter};
+}

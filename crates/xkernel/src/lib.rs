@@ -1,0 +1,55 @@
+//! # xkernel — the x-kernel object infrastructure, in Rust
+//!
+//! This crate reproduces the substrate of *RPC in the x-Kernel: Evaluating
+//! New Design Techniques* (Hutchinson, Peterson, Abbott, O'Malley — SOSP
+//! 1989): an object-oriented infrastructure for composing network protocols
+//! with three distinguishing features the paper's techniques depend on:
+//!
+//! 1. **A uniform interface to all protocols** ([`proto::Protocol`],
+//!    [`proto::Session`]) — protocols with the same semantics are
+//!    substitutable for one another.
+//! 2. **Late binding between protocol layers** — high-level protocols `open`
+//!    low-level protocols at run time through capabilities configured by the
+//!    [`graph`] DSL, so "exactly the right protocol for a particular
+//!    situation" can be selected (this is what makes *virtual protocols*
+//!    possible).
+//! 3. **Light-weight layers** — crossing a layer costs one procedure call
+//!    ([`kernel::Kernel::demux_to`]), which is what makes *layered
+//!    protocols* economical.
+//!
+//! The crate also provides the execution substrate the paper's testbed
+//! hardware is replaced by: a deterministic virtual-time simulator
+//! ([`sim`]) with shepherd processes, semaphores, timers, and a calibrated
+//! per-primitive [`cost::CostModel`], plus the header-headroom [`msg`]
+//! message type whose allocation policy is itself one of the paper's
+//! evaluated design choices.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use xkernel::prelude::*;
+//! use xkernel::sim::{Sim, SimConfig};
+//!
+//! // A simulator in inline mode (synchronous, no virtual time) ...
+//! let sim = Sim::new(SimConfig::inline_mode());
+//! // ... with one host ...
+//! let kernel = Kernel::new(&sim, "host-a");
+//! // ... is ready for protocols to be registered and composed. See the
+//! // `inet` and `xrpc` crates for the protocol suite itself.
+//! assert_eq!(kernel.name(), "host-a");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod cost;
+pub mod error;
+pub mod graph;
+pub mod kernel;
+pub mod msg;
+pub mod proto;
+pub mod shim;
+pub mod sim;
+pub mod wire;
+
+pub use kernel::prelude;

@@ -1,0 +1,909 @@
+//! Deterministic virtual-time execution engine.
+//!
+//! The x-kernel's concurrency model is the *shepherd process*: a light-weight
+//! process that escorts one message up or down through the protocol objects,
+//! blocking on a semaphore only when it must wait (for a reply, a free
+//! channel, a timer). We reproduce that model exactly, in two modes:
+//!
+//! * [`Mode::Scheduled`] — a discrete-event simulation. Shepherd processes
+//!   are OS threads, but exactly one runs at a time, coordinated by the
+//!   scheduler, so execution is fully deterministic (heap ties broken by
+//!   insertion order). Virtual CPU time is charged per primitive operation
+//!   (see [`CostModel`]) onto a per-host CPU timeline; the network schedules
+//!   packet deliveries as timestamped events. This mode regenerates the
+//!   paper's millisecond-scale tables.
+//! * [`Mode::Inline`] — a synchronous zero-latency network: pushing a packet
+//!   invokes the destination kernel's demux on the *same* thread, so an
+//!   entire RPC round trip is one call chain with no blocking and no
+//!   scheduling. Criterion uses this mode to measure the real CPU cost of
+//!   each protocol path on today's hardware. It doubles as a lock-discipline
+//!   check: holding a session lock across a lower `push` deadlocks here.
+//!
+//! The same protocol code runs unmodified in both modes.
+
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex, RwLock};
+
+pub use crate::cost::Nanos;
+
+use crate::cost::CostModel;
+use crate::error::XResult;
+use crate::kernel::Kernel;
+use crate::msg::{HeaderPolicy, Message, Popped};
+
+/// Virtual time, in nanoseconds since simulation start.
+pub type Time = u64;
+
+/// Identifies a simulated host (one kernel instance).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct HostId(pub usize);
+
+/// Identifies a logical (shepherd) process.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LpId(u64);
+
+/// Execution mode; see the module docs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// Synchronous, same-thread delivery; no virtual time.
+    Inline,
+    /// Deterministic discrete-event simulation with virtual time.
+    Scheduled,
+}
+
+/// Why a blocked process resumed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WakeReason {
+    /// A V (or explicit wake) released it.
+    Normal,
+    /// Its timeout fired first.
+    Timeout,
+}
+
+/// Handle for cancelling a scheduled timer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TimerHandle(u64);
+
+impl TimerHandle {
+    /// A handle that refers to nothing (inline mode, or already fired).
+    pub const NONE: TimerHandle = TimerHandle(u64::MAX);
+}
+
+/// Simulation construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Execution mode.
+    pub mode: Mode,
+    /// Per-primitive virtual CPU costs (ignored in inline mode).
+    pub cost: CostModel,
+    /// Seed for the simulation-wide deterministic PRNG.
+    pub seed: u64,
+    /// Whether to record trace events (tests only; costs nothing when off).
+    pub trace: bool,
+    /// Header-buffer policy for messages created via [`Ctx::msg`] — the
+    /// paper's buffer-management design point (see [`crate::msg`]).
+    pub policy: HeaderPolicy,
+}
+
+impl SimConfig {
+    /// Scheduled mode with the Sun 3/75 calibration.
+    pub fn scheduled() -> SimConfig {
+        SimConfig {
+            mode: Mode::Scheduled,
+            cost: CostModel::sun3_75(),
+            seed: 0x5eed,
+            trace: false,
+            policy: HeaderPolicy::default(),
+        }
+    }
+
+    /// Inline mode (criterion measurement / fast tests).
+    pub fn inline_mode() -> SimConfig {
+        SimConfig {
+            mode: Mode::Inline,
+            cost: CostModel::zero(),
+            seed: 0x5eed,
+            trace: false,
+            policy: HeaderPolicy::default(),
+        }
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> SimConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables tracing.
+    pub fn with_trace(mut self) -> SimConfig {
+        self.trace = true;
+        self
+    }
+
+    /// Replaces the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> SimConfig {
+        self.cost = cost;
+        self
+    }
+
+    /// Replaces the header-buffer policy.
+    pub fn with_policy(mut self, policy: HeaderPolicy) -> SimConfig {
+        self.policy = policy;
+        self
+    }
+}
+
+/// Outcome of [`Sim::run_until_idle`].
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Virtual time of the last processed event.
+    pub ended_at: Time,
+    /// Number of events executed.
+    pub events: u64,
+    /// Processes still blocked when the event queue drained (deadlock if
+    /// non-zero and the workload expected to finish).
+    pub blocked: usize,
+}
+
+/// A boxed shepherd-process body.
+pub type Thunk = Box<dyn FnOnce(&Ctx) + Send + 'static>;
+
+enum EvKind {
+    Run { host: HostId, f: Thunk },
+    Wake { lp: LpId, reason: WakeReason },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum RunState {
+    Running,
+    Blocked,
+    Done,
+}
+
+struct LpState {
+    host: HostId,
+    state: RunState,
+    cv: Arc<Condvar>,
+    wake_reason: WakeReason,
+}
+
+struct Task {
+    lp: LpId,
+    host: HostId,
+    f: Thunk,
+}
+
+struct WorkerSlot {
+    m: Mutex<Option<Task>>,
+    cv: Condvar,
+}
+
+struct Sched {
+    now: Time,
+    seq: u64,
+    heap: BinaryHeap<std::cmp::Reverse<(Time, u64)>>,
+    events: HashMap<u64, EvKind>,
+    lps: HashMap<u64, LpState>,
+    next_lp: u64,
+    current: Option<LpId>,
+    idle_workers: Vec<Arc<WorkerSlot>>,
+    host_cpu: Vec<Time>,
+    executed: u64,
+    panics: Vec<String>,
+}
+
+struct TraceBuf {
+    enabled: bool,
+    lines: Vec<String>,
+}
+
+/// Shared simulator state.
+pub struct SimCore {
+    mode: Mode,
+    cost: CostModel,
+    policy: HeaderPolicy,
+    sched: Mutex<Sched>,
+    sched_cv: Condvar,
+    kernels: RwLock<Vec<Arc<Kernel>>>,
+    rng: Mutex<u64>,
+    trace: Mutex<TraceBuf>,
+}
+
+/// The simulator: owns hosts, time, and shepherd processes.
+#[derive(Clone)]
+pub struct Sim {
+    core: Arc<SimCore>,
+}
+
+impl Sim {
+    /// Creates a simulator.
+    pub fn new(cfg: SimConfig) -> Sim {
+        Sim {
+            core: Arc::new(SimCore {
+                mode: cfg.mode,
+                cost: cfg.cost,
+                policy: cfg.policy,
+                sched: Mutex::new(Sched {
+                    now: 0,
+                    seq: 0,
+                    heap: BinaryHeap::new(),
+                    events: HashMap::new(),
+                    lps: HashMap::new(),
+                    next_lp: 0,
+                    current: None,
+                    idle_workers: Vec::new(),
+                    host_cpu: Vec::new(),
+                    executed: 0,
+                    panics: Vec::new(),
+                }),
+                sched_cv: Condvar::new(),
+                kernels: RwLock::new(Vec::new()),
+                rng: Mutex::new(cfg.seed | 1),
+                trace: Mutex::new(TraceBuf {
+                    enabled: cfg.trace,
+                    lines: Vec::new(),
+                }),
+            }),
+        }
+    }
+
+    /// Execution mode.
+    pub fn mode(&self) -> Mode {
+        self.core.mode
+    }
+
+    /// The cost model in effect.
+    pub fn cost(&self) -> &CostModel {
+        &self.core.cost
+    }
+
+    /// Registers a kernel, allocating its host id. Called by `Kernel::new`.
+    pub(crate) fn add_kernel(&self, k: &Arc<Kernel>) -> HostId {
+        let mut ks = self.core.kernels.write();
+        let id = HostId(ks.len());
+        ks.push(Arc::clone(k));
+        self.core.sched.lock().host_cpu.push(0);
+        id
+    }
+
+    /// The kernel running on `host`.
+    pub fn kernel_of(&self, host: HostId) -> Arc<Kernel> {
+        Arc::clone(&self.core.kernels.read()[host.0])
+    }
+
+    /// All registered kernels.
+    pub fn kernels(&self) -> Vec<Arc<Kernel>> {
+        self.core.kernels.read().clone()
+    }
+
+    /// A context bound to `host` but to no logical process. Suitable for
+    /// setup (graph building, enables) and for everything in inline mode;
+    /// blocking from it panics.
+    pub fn ctx(&self, host: HostId) -> Ctx {
+        Ctx {
+            core: Arc::clone(&self.core),
+            host,
+            lp: None,
+        }
+    }
+
+    /// Spawns a shepherd process on `host`. In scheduled mode it is queued
+    /// at the current virtual time and run by [`Sim::run_until_idle`]; in
+    /// inline mode it executes immediately on the calling thread.
+    pub fn spawn(&self, host: HostId, f: impl FnOnce(&Ctx) + Send + 'static) {
+        self.ctx(host).spawn_on(host, f);
+    }
+
+    /// Runs queued events until none remain. Scheduled mode only.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises (as a panic) the first panic that occurred inside any
+    /// shepherd process, so test failures surface cleanly.
+    pub fn run_until_idle(&self) -> RunReport {
+        assert_eq!(
+            self.core.mode,
+            Mode::Scheduled,
+            "run_until_idle is meaningful only in scheduled mode"
+        );
+        let core = &self.core;
+        let mut g = core.sched.lock();
+        loop {
+            // Pop the next live event.
+            let next = loop {
+                match g.heap.pop() {
+                    None => break None,
+                    Some(std::cmp::Reverse((t, seq))) => {
+                        if g.events.contains_key(&seq) {
+                            break Some((t, seq));
+                        }
+                        // Cancelled; skip.
+                    }
+                }
+            };
+            let (t, seq) = match next {
+                Some(x) => x,
+                None => break,
+            };
+            g.now = t;
+            g.executed += 1;
+            let kind = g.events.remove(&seq).expect("event checked present");
+            match kind {
+                EvKind::Run { host, f } => {
+                    let lp = LpId(g.next_lp);
+                    g.next_lp += 1;
+                    g.lps.insert(
+                        lp.0,
+                        LpState {
+                            host,
+                            state: RunState::Running,
+                            cv: Arc::new(Condvar::new()),
+                            wake_reason: WakeReason::Normal,
+                        },
+                    );
+                    g.current = Some(lp);
+                    let cpu = &mut g.host_cpu[host.0];
+                    *cpu = (*cpu).max(t);
+                    let slot = g
+                        .idle_workers
+                        .pop()
+                        .unwrap_or_else(|| spawn_worker(Arc::clone(core)));
+                    drop(g);
+                    *slot.m.lock() = Some(Task { lp, host, f });
+                    slot.cv.notify_one();
+                    g = core.sched.lock();
+                    while g.current.is_some() {
+                        core.sched_cv.wait(&mut g);
+                    }
+                }
+                EvKind::Wake { lp, reason } => {
+                    let Some(st) = g.lps.get_mut(&lp.0) else {
+                        continue; // Process already gone; stale wake.
+                    };
+                    if st.state != RunState::Blocked {
+                        continue; // Stale wake; cancellation should prevent this.
+                    }
+                    let host = st.host;
+                    st.state = RunState::Running;
+                    st.wake_reason = reason;
+                    let cv = Arc::clone(&st.cv);
+                    g.current = Some(lp);
+                    let switch = core.cost.proc_switch;
+                    let cpu = &mut g.host_cpu[host.0];
+                    *cpu = (*cpu).max(t) + switch;
+                    cv.notify_one();
+                    while g.current.is_some() {
+                        core.sched_cv.wait(&mut g);
+                    }
+                }
+            }
+        }
+        let blocked = g
+            .lps
+            .values()
+            .filter(|l| l.state == RunState::Blocked)
+            .count();
+        let report = RunReport {
+            ended_at: g.now,
+            events: g.executed,
+            blocked,
+        };
+        let panic = g.panics.first().cloned();
+        drop(g);
+        if let Some(p) = panic {
+            panic!("shepherd process panicked: {p}");
+        }
+        report
+    }
+
+    /// Virtual CPU time of `host`.
+    pub fn now_of(&self, host: HostId) -> Time {
+        self.core.sched.lock().host_cpu[host.0]
+    }
+
+    /// Global virtual time (time of the last processed event).
+    pub fn virtual_now(&self) -> Time {
+        self.core.sched.lock().now
+    }
+
+    /// Next value from the simulation-wide deterministic PRNG (SplitMix64).
+    pub fn next_u64(&self) -> u64 {
+        let mut s = self.core.rng.lock();
+        *s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Collected trace lines (empty unless tracing was enabled).
+    pub fn trace_lines(&self) -> Vec<String> {
+        self.core.trace.lock().lines.clone()
+    }
+}
+
+fn spawn_worker(core: Arc<SimCore>) -> Arc<WorkerSlot> {
+    let slot = Arc::new(WorkerSlot {
+        m: Mutex::new(None),
+        cv: Condvar::new(),
+    });
+    let thread_slot = Arc::clone(&slot);
+    std::thread::Builder::new()
+        .name("xk-shepherd".into())
+        .spawn(move || worker_main(core, thread_slot))
+        .expect("spawning shepherd worker thread");
+    slot
+}
+
+fn worker_main(core: Arc<SimCore>, slot: Arc<WorkerSlot>) {
+    loop {
+        let task = {
+            let mut m = slot.m.lock();
+            loop {
+                if let Some(t) = m.take() {
+                    break t;
+                }
+                slot.cv.wait(&mut m);
+            }
+        };
+        let ctx = Ctx {
+            core: Arc::clone(&core),
+            host: task.host,
+            lp: Some(task.lp),
+        };
+        let lp = task.lp;
+        let result = catch_unwind(AssertUnwindSafe(move || (task.f)(&ctx)));
+        let mut g = core.sched.lock();
+        if let Err(p) = result {
+            let text = p
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| p.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            g.panics.push(text);
+        }
+        if let Some(st) = g.lps.get_mut(&lp.0) {
+            st.state = RunState::Done;
+        }
+        g.lps.remove(&lp.0);
+        g.current = None;
+        g.idle_workers.push(Arc::clone(&slot));
+        drop(g);
+        core.sched_cv.notify_one();
+    }
+}
+
+/// Execution context handed to every protocol operation: identifies the
+/// current host and (in scheduled mode) the current shepherd process, and
+/// provides time, charging, timers, and spawning.
+#[derive(Clone)]
+pub struct Ctx {
+    core: Arc<SimCore>,
+    host: HostId,
+    lp: Option<LpId>,
+}
+
+impl Ctx {
+    /// The host this context executes on.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Execution mode.
+    pub fn mode(&self) -> Mode {
+        self.core.mode
+    }
+
+    /// The cost model in effect.
+    pub fn cost(&self) -> &CostModel {
+        &self.core.cost
+    }
+
+    /// The kernel of the current host.
+    pub fn kernel(&self) -> Arc<Kernel> {
+        Arc::clone(&self.core.kernels.read()[self.host.0])
+    }
+
+    /// The kernel of another host.
+    pub fn kernel_of(&self, host: HostId) -> Arc<Kernel> {
+        Arc::clone(&self.core.kernels.read()[host.0])
+    }
+
+    /// This context re-bound to another host (used by the inline network to
+    /// continue the call chain on the destination kernel).
+    pub fn with_host(&self, host: HostId) -> Ctx {
+        Ctx {
+            core: Arc::clone(&self.core),
+            host,
+            lp: self.lp,
+        }
+    }
+
+    /// Current virtual time of this host's CPU (0 in inline mode).
+    pub fn now(&self) -> Time {
+        if self.core.mode == Mode::Inline {
+            return 0;
+        }
+        self.core.sched.lock().host_cpu[self.host.0]
+    }
+
+    /// Charges `ns` of virtual CPU time to this host. No-op in inline mode.
+    pub fn charge(&self, ns: Nanos) {
+        if self.core.mode == Mode::Inline || ns == 0 {
+            return;
+        }
+        self.core.sched.lock().host_cpu[self.host.0] += ns;
+    }
+
+    /// Charges the cost of crossing one protocol layer. The kernel's demux
+    /// choke point calls this; protocols call it for their downward calls.
+    pub fn charge_layer_call(&self) {
+        self.charge(self.core.cost.layer_call);
+    }
+
+    /// Creates a message holding `payload` under the simulation's
+    /// header-buffer policy. Protocols create every outgoing message this
+    /// way so the policy ablation governs the whole system.
+    pub fn msg(&self, payload: Vec<u8>) -> Message {
+        Message::from_user_with(self.core.policy, payload)
+    }
+
+    /// Creates an empty message under the simulation's header policy.
+    pub fn empty_msg(&self) -> Message {
+        Message::empty_with(self.core.policy)
+    }
+
+    /// Pushes a header onto `msg`, charging for the bytes touched and for
+    /// any allocation the message's [`crate::msg::HeaderPolicy`] incurred.
+    pub fn push_header(&self, msg: &mut Message, header: &[u8]) {
+        let stats = msg.push_header(header);
+        if self.core.mode == Mode::Scheduled {
+            let c = &self.core.cost;
+            let mut ns = header.len() as u64 * c.header_byte + stats.copied as u64 * c.copy_byte;
+            if stats.allocated {
+                ns += c.alloc;
+            }
+            self.charge(ns);
+        }
+    }
+
+    /// Pops an `n`-byte header from `msg`, charging for the bytes touched.
+    pub fn pop_header<'m>(&self, msg: &'m mut Message, n: usize) -> XResult<Popped<'m>> {
+        if self.core.mode == Mode::Scheduled {
+            let c = &self.core.cost;
+            self.charge(n as u64 * c.header_byte);
+        }
+        let popped = msg.pop_header(n)?;
+        if self.core.mode == Mode::Scheduled {
+            let copied = popped.stats().copied as u64;
+            if copied > 0 {
+                self.core.sched.lock().host_cpu[self.host.0] += copied * self.core.cost.copy_byte;
+            }
+        }
+        Ok(popped)
+    }
+
+    /// Spawns a shepherd process on `host` at the current time.
+    pub fn spawn_on(&self, host: HostId, f: impl FnOnce(&Ctx) + Send + 'static) {
+        match self.core.mode {
+            Mode::Inline => {
+                let ctx = self.with_host(host);
+                f(&ctx);
+            }
+            Mode::Scheduled => {
+                let t = self.event_time();
+                self.schedule_run_at(t, host, Box::new(f));
+            }
+        }
+    }
+
+    /// The timestamp outgoing actions of this context carry: the host CPU
+    /// clock when inside a process, else the global event clock.
+    pub fn event_time(&self) -> Time {
+        let g = self.core.sched.lock();
+        if self.lp.is_some() {
+            g.host_cpu[self.host.0]
+        } else {
+            g.now.max(g.host_cpu[self.host.0])
+        }
+    }
+
+    /// Schedules `f` to run as a new shepherd process on `host` at absolute
+    /// virtual time `t`. Scheduled mode only (inline callers use
+    /// [`Ctx::spawn_on`]).
+    pub fn schedule_run_at(&self, t: Time, host: HostId, f: Thunk) -> TimerHandle {
+        assert_eq!(
+            self.core.mode,
+            Mode::Scheduled,
+            "absolute scheduling requires virtual time"
+        );
+        let mut g = self.core.sched.lock();
+        let seq = g.seq;
+        g.seq += 1;
+        g.events.insert(seq, EvKind::Run { host, f });
+        g.heap.push(std::cmp::Reverse((t, seq)));
+        TimerHandle(seq)
+    }
+
+    /// Arms a timer: after `dt` of virtual time, `f` runs as a new shepherd
+    /// process on this host. In inline mode timers never fire and the
+    /// returned handle is inert — protocols must therefore bound any state
+    /// they would otherwise rely on a timer to reclaim.
+    pub fn schedule_after(&self, dt: Nanos, f: impl FnOnce(&Ctx) + Send + 'static) -> TimerHandle {
+        if self.core.mode == Mode::Inline {
+            return TimerHandle::NONE;
+        }
+        self.charge(self.core.cost.timer_op);
+        let t = self.event_time() + dt;
+        self.schedule_run_at(t, self.host, Box::new(f))
+    }
+
+    /// Cancels a timer. Harmless if it already fired or is inert.
+    pub fn cancel_timer(&self, h: TimerHandle) {
+        if h == TimerHandle::NONE || self.core.mode == Mode::Inline {
+            return;
+        }
+        self.charge(self.core.cost.timer_op);
+        self.core.sched.lock().events.remove(&h.0);
+    }
+
+    /// Blocks the current shepherd process until woken; returns why it woke.
+    ///
+    /// # Panics
+    ///
+    /// Panics in inline mode or outside a shepherd process: blocking there
+    /// indicates either a lock-discipline violation or a workload that
+    /// genuinely needs scheduled mode.
+    pub(crate) fn block_current(&self) -> WakeReason {
+        let lp = match (self.core.mode, self.lp) {
+            (Mode::Scheduled, Some(lp)) => lp,
+            (Mode::Inline, _) => panic!(
+                "process would block in inline mode: the awaited event cannot \
+                 occur (use scheduled mode for this workload)"
+            ),
+            (_, None) => panic!("blocking outside a shepherd process"),
+        };
+        self.charge(self.core.cost.proc_switch);
+        let mut g = self.core.sched.lock();
+        let st = g.lps.get_mut(&lp.0).expect("current process registered");
+        st.state = RunState::Blocked;
+        let cv = Arc::clone(&st.cv);
+        g.current = None;
+        self.core.sched_cv.notify_one();
+        loop {
+            cv.wait(&mut g);
+            let st = g.lps.get(&lp.0).expect("blocked process cannot vanish");
+            if st.state == RunState::Running {
+                return st.wake_reason;
+            }
+        }
+    }
+
+    /// Schedules a wake for a blocked process at this context's current
+    /// time. Used by [`Sema`]; stale wakes are prevented by timer
+    /// cancellation, and ignored defensively by the scheduler.
+    pub(crate) fn wake(&self, lp: LpId, reason: WakeReason) {
+        let t = self.event_time();
+        let mut g = self.core.sched.lock();
+        let seq = g.seq;
+        g.seq += 1;
+        g.events.insert(seq, EvKind::Wake { lp, reason });
+        g.heap.push(std::cmp::Reverse((t, seq)));
+    }
+
+    /// Suspends the current process for `dt` of virtual time. No-op in
+    /// inline mode.
+    pub fn sleep(&self, dt: Nanos) {
+        if self.core.mode == Mode::Inline {
+            return;
+        }
+        let lp = self.lp.expect("sleep outside a shepherd process");
+        let t = self.event_time() + dt;
+        let mut g = self.core.sched.lock();
+        let seq = g.seq;
+        g.seq += 1;
+        g.events.insert(
+            seq,
+            EvKind::Wake {
+                lp,
+                reason: WakeReason::Normal,
+            },
+        );
+        g.heap.push(std::cmp::Reverse((t, seq)));
+        drop(g);
+        self.block_current();
+    }
+
+    /// The current logical process, if any.
+    pub(crate) fn lp(&self) -> Option<LpId> {
+        self.lp
+    }
+
+    /// Next value from the simulation PRNG.
+    pub fn next_u64(&self) -> u64 {
+        Sim {
+            core: Arc::clone(&self.core),
+        }
+        .next_u64()
+    }
+
+    /// Records a trace line if tracing is enabled.
+    pub fn trace(&self, layer: &str, text: impl FnOnce() -> String) {
+        let mut t = self.core.trace.lock();
+        if t.enabled {
+            let line = format!(
+                "[h{} t{}] {layer}: {}",
+                self.host.0,
+                self.now_for_trace(),
+                text()
+            );
+            t.lines.push(line);
+        }
+    }
+
+    fn now_for_trace(&self) -> Time {
+        if self.core.mode == Mode::Inline {
+            0
+        } else {
+            self.core.sched.lock().host_cpu[self.host.0]
+        }
+    }
+}
+
+struct Waiter {
+    lp: LpId,
+    timer: Option<TimerHandle>,
+    seq: u64,
+}
+
+struct SemaState {
+    count: i64,
+    waiters: VecDeque<Waiter>,
+    next_seq: u64,
+}
+
+/// A counting semaphore integrated with the simulator: P blocks the shepherd
+/// process in scheduled mode; in inline mode P on a zero count is a
+/// programming error for plain [`Sema::p`] and a clean `false` for
+/// [`SharedSema::p_timeout`] (the awaited event can never arrive inline, so the
+/// timeout outcome is the truthful one).
+pub struct Sema {
+    st: Mutex<SemaState>,
+}
+
+impl Sema {
+    /// A semaphore with the given initial count.
+    pub fn new(initial: i64) -> Sema {
+        Sema {
+            st: Mutex::new(SemaState {
+                count: initial,
+                waiters: VecDeque::new(),
+                next_seq: 0,
+            }),
+        }
+    }
+
+    /// Current count (tests/introspection).
+    pub fn count(&self) -> i64 {
+        self.st.lock().count
+    }
+
+    /// P: acquire one unit, blocking until available.
+    pub fn p(&self, ctx: &Ctx) {
+        ctx.charge(ctx.cost().sema_op);
+        {
+            let mut st = self.st.lock();
+            if st.count > 0 {
+                st.count -= 1;
+                return;
+            }
+            if ctx.mode() == Mode::Inline {
+                panic!("Sema::p would block in inline mode");
+            }
+            let lp = ctx.lp().expect("P outside a shepherd process");
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            st.waiters.push_back(Waiter {
+                lp,
+                timer: None,
+                seq,
+            });
+        }
+        let reason = ctx.block_current();
+        debug_assert_eq!(reason, WakeReason::Normal, "untimed P woke by timeout");
+    }
+
+    /// V: release one unit, waking the longest-waiting process if any.
+    pub fn v(&self, ctx: &Ctx) {
+        ctx.charge(ctx.cost().sema_op);
+        let woken = {
+            let mut st = self.st.lock();
+            match st.waiters.pop_front() {
+                Some(w) => Some(w),
+                None => {
+                    st.count += 1;
+                    None
+                }
+            }
+        };
+        if let Some(w) = woken {
+            if let Some(t) = w.timer {
+                ctx.cancel_timer(t);
+            }
+            ctx.wake(w.lp, WakeReason::Normal);
+        }
+    }
+}
+
+/// The shareable semaphore: a thin `Arc` wrapper whose
+/// [`SharedSema::p_timeout`] can safely hand the semaphore to its timeout
+/// closure.
+#[derive(Clone)]
+pub struct SharedSema(Arc<Sema>);
+
+impl SharedSema {
+    /// A shareable semaphore with the given initial count.
+    pub fn new(initial: i64) -> SharedSema {
+        SharedSema(Arc::new(Sema::new(initial)))
+    }
+
+    /// Current count.
+    pub fn count(&self) -> i64 {
+        self.0.count()
+    }
+
+    /// P: acquire, blocking.
+    pub fn p(&self, ctx: &Ctx) {
+        self.0.p(ctx)
+    }
+
+    /// V: release.
+    pub fn v(&self, ctx: &Ctx) {
+        self.0.v(ctx)
+    }
+
+    /// P with timeout; `true` if acquired.
+    pub fn p_timeout(&self, ctx: &Ctx, dt: Nanos) -> bool {
+        let sema = &self.0;
+        ctx.charge(ctx.cost().sema_op);
+        let my_seq;
+        {
+            let mut st = sema.st.lock();
+            if st.count > 0 {
+                st.count -= 1;
+                return true;
+            }
+            if ctx.mode() == Mode::Inline {
+                return false;
+            }
+            let lp = ctx.lp().expect("P outside a shepherd process");
+            my_seq = st.next_seq;
+            st.next_seq += 1;
+            st.waiters.push_back(Waiter {
+                lp,
+                timer: None,
+                seq: my_seq,
+            });
+        }
+        let me = Arc::clone(sema);
+        let lp = ctx.lp().expect("checked above");
+        let timer = ctx.schedule_after(dt, move |tctx| {
+            let mut st = me.st.lock();
+            if let Some(pos) = st.waiters.iter().position(|w| w.seq == my_seq) {
+                st.waiters.remove(pos);
+                drop(st);
+                tctx.wake(lp, WakeReason::Timeout);
+            }
+        });
+        {
+            let mut st = sema.st.lock();
+            if let Some(w) = st.waiters.iter_mut().find(|w| w.seq == my_seq) {
+                w.timer = Some(timer);
+            }
+        }
+        matches!(ctx.block_current(), WakeReason::Normal)
+    }
+}

@@ -1,0 +1,238 @@
+//! Big-endian wire codec helpers used by every header implementation.
+//!
+//! Headers in this suite are laid out field-for-field after the C structs in
+//! the paper's appendix, in network byte order. [`WireWriter`] appends to a
+//! buffer; [`WireReader`] consumes from a byte slice and reports truncation
+//! as [`XError::Malformed`] instead of panicking.
+
+use crate::addr::{EthAddr, IpAddr};
+use crate::error::{XError, XResult};
+
+/// Serializes header fields in network byte order.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// Creates a writer with capacity for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> WireWriter {
+        WireWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a `u16` in network byte order.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a `u32` in network byte order.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends an internet address (4 bytes).
+    pub fn ip(&mut self, v: IpAddr) -> &mut Self {
+        self.buf.extend_from_slice(&v.octets());
+        self
+    }
+
+    /// Appends an Ethernet address (6 bytes).
+    pub fn eth(&mut self, v: EthAddr) -> &mut Self {
+        self.buf.extend_from_slice(&v.0);
+        self
+    }
+
+    /// Appends raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Finishes and returns the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Deserializes header fields in network byte order.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    what: &'static str,
+}
+
+impl<'a> WireReader<'a> {
+    /// Creates a reader over `buf`; `what` names the header for error text.
+    pub fn new(buf: &'a [u8], what: &'static str) -> WireReader<'a> {
+        WireReader { buf, pos: 0, what }
+    }
+
+    fn take(&mut self, n: usize) -> XResult<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or_else(|| self.err())?;
+        if end > self.buf.len() {
+            return Err(self.err());
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn err(&self) -> XError {
+        XError::Malformed(format!(
+            "{}: truncated at offset {} of {}",
+            self.what,
+            self.pos,
+            self.buf.len()
+        ))
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> XResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian `u16`.
+    pub fn u16(&mut self) -> XResult<u16> {
+        let s = self.take(2)?;
+        Ok(u16::from_be_bytes([s[0], s[1]]))
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn u32(&mut self) -> XResult<u32> {
+        let s = self.take(4)?;
+        Ok(u32::from_be_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Reads an internet address.
+    pub fn ip(&mut self) -> XResult<IpAddr> {
+        Ok(IpAddr(self.u32()?))
+    }
+
+    /// Reads an Ethernet address.
+    pub fn eth(&mut self) -> XResult<EthAddr> {
+        let s = self.take(6)?;
+        let mut a = [0u8; 6];
+        a.copy_from_slice(s);
+        Ok(EthAddr(a))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> XResult<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current offset from the start of the buffer.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+}
+
+/// The Internet checksum (RFC 1071 one's-complement sum) over `data`,
+/// used by the IP header and the UDP/TCP pseudo-header checksums.
+pub fn internet_checksum(chunks: &[&[u8]]) -> u16 {
+    let mut sum: u32 = 0;
+    // Odd-length chunks are treated as if zero-padded, matching how the
+    // checksum composes over pseudo-header + header + data.
+    for data in chunks {
+        let mut i = 0;
+        while i + 1 < data.len() {
+            sum += u32::from(u16::from_be_bytes([data[i], data[i + 1]]));
+            i += 2;
+        }
+        if i < data.len() {
+            sum += u32::from(u16::from_be_bytes([data[i], 0]));
+        }
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_reader_roundtrip() {
+        let mut w = WireWriter::with_capacity(32);
+        w.u8(7)
+            .u16(0xbeef)
+            .u32(0xdead_beef)
+            .ip(IpAddr::new(1, 2, 3, 4))
+            .eth(EthAddr::from_index(5))
+            .bytes(&[9, 9, 9]);
+        let buf = w.finish();
+        assert_eq!(buf.len(), 1 + 2 + 4 + 4 + 6 + 3);
+
+        let mut r = WireReader::new(&buf, "test");
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0xbeef);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.ip().unwrap(), IpAddr::new(1, 2, 3, 4));
+        assert_eq!(r.eth().unwrap(), EthAddr::from_index(5));
+        assert_eq!(r.bytes(3).unwrap(), &[9, 9, 9]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn reader_reports_truncation() {
+        let mut r = WireReader::new(&[1, 2], "short");
+        assert_eq!(r.u8().unwrap(), 1);
+        let err = r.u32().unwrap_err();
+        match err {
+            XError::Malformed(s) => assert!(s.contains("short")),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checksum_known_vector() {
+        // Example from RFC 1071: the sum of these words is 0xddf2, so the
+        // checksum is !0xddf2 = 0x220d.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(&[&data]), 0x220d);
+    }
+
+    #[test]
+    fn checksum_verifies_to_zero() {
+        let mut data = vec![0x45u8, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11];
+        let c = internet_checksum(&[&data]);
+        data.extend_from_slice(&c.to_be_bytes());
+        assert_eq!(internet_checksum(&[&data]), 0);
+    }
+
+    #[test]
+    fn checksum_chunking_is_associative_for_even_chunks() {
+        let a = [1u8, 2, 3, 4];
+        let b = [5u8, 6, 7, 8];
+        let joined = [1u8, 2, 3, 4, 5, 6, 7, 8];
+        assert_eq!(internet_checksum(&[&a, &b]), internet_checksum(&[&joined]));
+    }
+}
