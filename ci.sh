@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# The full local gate: formatting, lints, release build, tests, and xk-lint
+# over every checked-in spec. Run from the repo root; exits non-zero on the
+# first failure.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --all-features -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> xk-lint: built-in paper stacks"
+XK_LINT=target/release/xk-lint
+"$XK_LINT" --builtin --warn-as-error
+
+echo "==> xk-lint: specs/good must pass"
+"$XK_LINT" --warn-as-error specs/good/*.xk
+
+echo "==> xk-lint: specs/bad must fail"
+for spec in specs/bad/*.xk; do
+    if "$XK_LINT" --quiet "$spec"; then
+        echo "ci: $spec unexpectedly lints clean" >&2
+        exit 1
+    fi
+done
+
+echo "ci: all green"

@@ -534,6 +534,10 @@ impl Channel {
 }
 
 impl Protocol for Channel {
+    fn contract(&self) -> xkernel::lint::ProtoContract {
+        crate::contracts::channel()
+    }
+
     fn name(&self) -> &'static str {
         "channel"
     }

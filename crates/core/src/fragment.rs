@@ -536,6 +536,10 @@ impl Session for FragSession {
 }
 
 impl Protocol for Fragment {
+    fn contract(&self) -> xkernel::lint::ProtoContract {
+        crate::contracts::fragment()
+    }
+
     fn name(&self) -> &'static str {
         "fragment"
     }

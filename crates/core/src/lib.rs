@@ -74,6 +74,7 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod contracts;
 pub mod fragment;
 pub mod hdr;
 pub mod mrpc;
@@ -101,6 +102,15 @@ use xkernel::prelude::*;
 /// * `vipsize -> <fragment> <direct>` — per-push FRAGMENT bypass
 /// * `pinger [echo=1] -> <lower>` — the Table III measurement harness
 pub fn register_ctors(reg: &mut ProtocolRegistry) {
+    reg.add_contract(contracts::sprite());
+    reg.add_contract(contracts::fragment());
+    reg.add_contract(contracts::channel());
+    reg.add_contract(contracts::select());
+    reg.add_contract(contracts::rdgram());
+    reg.add_contract(contracts::vip());
+    reg.add_contract(contracts::vipaddr());
+    reg.add_contract(contracts::vipsize());
+    reg.add_contract(contracts::pinger());
     reg.add("sprite", |a: &GraphArgs<'_>| {
         let cfg = mrpc::MrpcConfig {
             channels_per_peer: a.param_u64("channels", 8)? as usize,

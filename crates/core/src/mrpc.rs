@@ -648,6 +648,10 @@ impl Session for MrpcSession {
 }
 
 impl Protocol for Mrpc {
+    fn contract(&self) -> xkernel::lint::ProtoContract {
+        crate::contracts::sprite()
+    }
+
     fn name(&self) -> &'static str {
         "sprite"
     }

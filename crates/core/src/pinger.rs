@@ -150,6 +150,10 @@ impl Pinger {
 }
 
 impl Protocol for Pinger {
+    fn contract(&self) -> xkernel::lint::ProtoContract {
+        crate::contracts::pinger()
+    }
+
     fn name(&self) -> &'static str {
         "pinger"
     }

@@ -247,6 +247,10 @@ impl Session for SelectSession {
 }
 
 impl Protocol for Select {
+    fn contract(&self) -> xkernel::lint::ProtoContract {
+        crate::contracts::select()
+    }
+
     fn name(&self) -> &'static str {
         "select"
     }
@@ -436,6 +440,10 @@ impl Session for RdgramSession {
 }
 
 impl Protocol for Rdgram {
+    fn contract(&self) -> xkernel::lint::ProtoContract {
+        crate::contracts::rdgram()
+    }
+
     fn name(&self) -> &'static str {
         "rdgram"
     }

@@ -159,6 +159,10 @@ impl Session for VipSession {
 }
 
 impl Protocol for Vip {
+    fn contract(&self) -> xkernel::lint::ProtoContract {
+        crate::contracts::vip()
+    }
+
     fn name(&self) -> &'static str {
         "vip"
     }
@@ -273,6 +277,10 @@ impl VipAddr {
 }
 
 impl Protocol for VipAddr {
+    fn contract(&self) -> xkernel::lint::ProtoContract {
+        crate::contracts::vipaddr()
+    }
+
     fn name(&self) -> &'static str {
         "vipaddr"
     }
@@ -401,6 +409,10 @@ impl Session for VipSizeSession {
 }
 
 impl Protocol for VipSize {
+    fn contract(&self) -> xkernel::lint::ProtoContract {
+        crate::contracts::vipsize()
+    }
+
     fn name(&self) -> &'static str {
         "vipsize"
     }

@@ -138,6 +138,10 @@ impl Arp {
 }
 
 impl Protocol for Arp {
+    fn contract(&self) -> xkernel::lint::ProtoContract {
+        crate::contracts::arp()
+    }
+
     fn name(&self) -> &'static str {
         "arp"
     }

@@ -133,6 +133,10 @@ impl Session for EthSession {
 }
 
 impl Protocol for Eth {
+    fn contract(&self) -> xkernel::lint::ProtoContract {
+        crate::contracts::eth()
+    }
+
     fn name(&self) -> &'static str {
         "eth"
     }

@@ -84,6 +84,10 @@ impl Icmp {
 }
 
 impl Protocol for Icmp {
+    fn contract(&self) -> xkernel::lint::ProtoContract {
+        crate::contracts::icmp()
+    }
+
     fn name(&self) -> &'static str {
         "icmp"
     }

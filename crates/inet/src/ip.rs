@@ -436,6 +436,10 @@ impl Session for IpSession {
 }
 
 impl Protocol for Ip {
+    fn contract(&self) -> xkernel::lint::ProtoContract {
+        crate::contracts::ip()
+    }
+
     fn name(&self) -> &'static str {
         "ip"
     }

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod arp;
+pub mod contracts;
 pub mod eth;
 pub mod icmp;
 pub mod ip;
@@ -71,6 +72,12 @@ pub fn parse_mask(s: &str) -> XResult<u32> {
 /// * `icmp -> <ip-like>`
 /// * `tcp -> ip`
 pub fn register_ctors(reg: &mut ProtocolRegistry) {
+    reg.add_contract(contracts::eth());
+    reg.add_contract(contracts::arp());
+    reg.add_contract(contracts::ip());
+    reg.add_contract(contracts::udp());
+    reg.add_contract(contracts::icmp());
+    reg.add_contract(contracts::tcp());
     reg.add("eth", |a: &GraphArgs<'_>| {
         Ok(eth::Eth::new(a.me, a.down(0)?) as ProtocolRef)
     });

@@ -591,6 +591,10 @@ impl TcpListener {
 }
 
 impl Protocol for Tcp {
+    fn contract(&self) -> xkernel::lint::ProtoContract {
+        crate::contracts::tcp()
+    }
+
     fn name(&self) -> &'static str {
         "tcp"
     }

@@ -169,6 +169,10 @@ impl Session for UdpSession {
 }
 
 impl Protocol for Udp {
+    fn contract(&self) -> xkernel::lint::ProtoContract {
+        crate::contracts::udp()
+    }
+
     fn name(&self) -> &'static str {
         "udp"
     }

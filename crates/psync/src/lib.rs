@@ -234,6 +234,10 @@ impl Psync {
 }
 
 impl Protocol for Psync {
+    fn contract(&self) -> xkernel::lint::ProtoContract {
+        psync_contract()
+    }
+
     fn name(&self) -> &'static str {
         "psync"
     }
@@ -316,8 +320,26 @@ impl Protocol for Psync {
     }
 }
 
+/// Lint contract for Psync: conversation IPC over an internet-like
+/// delivery layer. The header is 14 fixed bytes plus 8 per context-graph
+/// dependency; 64 bounds the dependency sets this suite produces. Sends
+/// block the shepherd on the availability semaphore, V'd from demux.
+pub fn psync_contract() -> xkernel::lint::ProtoContract {
+    use xkernel::lint::{AddrKind, ProtoContract, SemaContract};
+    ProtoContract::new("psync", AddrKind::Rpc)
+        .lower(&[AddrKind::Internet])
+        .header(64)
+        .demux_key_bits(32)
+        .sema(SemaContract {
+            acquires_pool: false,
+            awaits_reply: true,
+            wakes_from_demux: true,
+        })
+}
+
 /// Registers `psync -> <fragment|vip|ip>` into the graph vocabulary.
 pub fn register_ctors(reg: &mut ProtocolRegistry) {
+    reg.add_contract(psync_contract());
     reg.add("psync", |a: &GraphArgs<'_>| {
         Ok(Psync::new(a.me, a.down(0)?) as ProtocolRef)
     });

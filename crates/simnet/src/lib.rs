@@ -395,6 +395,10 @@ impl Protocol for Nic {
         "nic"
     }
 
+    fn contract(&self) -> xkernel::lint::ProtoContract {
+        xkernel::lint::ProtoContract::new("nic", xkernel::lint::AddrKind::Device)
+    }
+
     fn id(&self) -> ProtoId {
         self.me
     }

@@ -229,6 +229,10 @@ impl Session for AuthServerSession {
 }
 
 impl Protocol for AuthLayer {
+    fn contract(&self) -> xkernel::lint::ProtoContract {
+        crate::contracts::auth(self.scheme.name())
+    }
+
     fn name(&self) -> &'static str {
         self.scheme.name()
     }

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod auth;
+pub mod contracts;
 pub mod rr;
 pub mod sunselect;
 pub mod xdr;
@@ -46,6 +47,10 @@ use xkernel::prelude::*;
 /// * `auth_unix uid=N gid=N machine=NAME [allow=UID,UID,...] -> <transaction layer>`
 /// * `sunselect -> <transaction or auth layer>`
 pub fn register_ctors(reg: &mut ProtocolRegistry) {
+    reg.add_contract(contracts::request_reply());
+    reg.add_contract(contracts::auth("auth_none"));
+    reg.add_contract(contracts::auth("auth_unix"));
+    reg.add_contract(contracts::sunselect());
     reg.add("request_reply", |a: &GraphArgs<'_>| {
         Ok(rr::RequestReply::new(a.me, a.down(0)?, rr::RrConfig::default()) as ProtocolRef)
     });

@@ -236,6 +236,10 @@ impl Session for RrServerSession {
 }
 
 impl Protocol for RequestReply {
+    fn contract(&self) -> xkernel::lint::ProtoContract {
+        crate::contracts::request_reply()
+    }
+
     fn name(&self) -> &'static str {
         "request_reply"
     }

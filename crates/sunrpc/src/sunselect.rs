@@ -170,6 +170,10 @@ impl Session for SunSelectSession {
 }
 
 impl Protocol for SunSelect {
+    fn contract(&self) -> xkernel::lint::ProtoContract {
+        crate::contracts::sunselect()
+    }
+
     fn name(&self) -> &'static str {
         "sunselect"
     }

@@ -37,6 +37,9 @@ pub enum XError {
     /// Misuse of the interface that indicates a configuration bug
     /// (unknown protocol id, missing lower capability, ...).
     Config(String),
+    /// The graph linter rejected the configuration before construction
+    /// (see [`crate::lint`]); carries every diagnostic found.
+    Lint(Vec<crate::lint::Diagnostic>),
     /// The session or kernel is shutting down.
     Closed,
 }
@@ -54,6 +57,17 @@ impl fmt::Display for XError {
                 write!(f, "message of {size} bytes exceeds maximum {max}")
             }
             XError::Config(s) => write!(f, "configuration error: {s}"),
+            XError::Lint(diags) => {
+                let errors = diags
+                    .iter()
+                    .filter(|d| d.severity == crate::lint::Severity::Error)
+                    .count();
+                write!(f, "graph lint failed with {errors} error(s):")?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
             XError::Closed => write!(f, "object closed"),
         }
     }

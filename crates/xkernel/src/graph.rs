@@ -21,14 +21,41 @@
 //!   They must appear on earlier lines (or be pre-registered, e.g. device
 //!   drivers), enforcing a cycle-free bottom-up configuration.
 //! * `key=value` parameters are passed to the constructor.
+//!
+//! ## Static checking
+//!
+//! Composition is a configuration-time decision, so composition *errors*
+//! are configuration-time errors: [`ProtocolRegistry::build`] runs the
+//! [`crate::lint`] pass over the spec before constructing anything, using
+//! the [`crate::lint::ProtoContract`]s registered alongside each
+//! constructor ([`ProtocolRegistry::add_contract`]). Error-level findings
+//! reject the build with [`XError::Lint`]; see `crate::lint` for the rule
+//! catalogue (XK001–XK010) and the `# xk-lint: allow=` suppression
+//! directive. [`ProtocolRegistry::build_unchecked`] skips the pass for
+//! specs that are deliberately ill-formed (e.g. reproducing the paper's
+//! TCP-over-VIP failure at run time), and [`ProtocolRegistry::set_lint_mode`]
+//! downgrades enforcement registry-wide.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use crate::error::{XError, XResult};
 use crate::kernel::Kernel;
+use crate::lint::{self, Diagnostic, LintOptions, ProtoContract};
 use crate::proto::{ProtoId, ProtocolRef};
 use crate::sim::Sim;
+
+/// How [`ProtocolRegistry::build`] reacts to linter findings.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LintMode {
+    /// Error-level diagnostics reject the build (the default).
+    #[default]
+    Enforce,
+    /// Diagnostics are printed to stderr but never reject the build.
+    WarnOnly,
+    /// The linter does not run.
+    Off,
+}
 
 /// Everything a protocol constructor receives from the graph builder.
 pub struct GraphArgs<'a> {
@@ -88,6 +115,8 @@ pub type Ctor = Box<dyn Fn(&GraphArgs<'_>) -> XResult<ProtocolRef> + Send + Sync
 #[derive(Default)]
 pub struct ProtocolRegistry {
     ctors: HashMap<String, Ctor>,
+    contracts: HashMap<String, ProtoContract>,
+    lint_mode: LintMode,
 }
 
 impl ProtocolRegistry {
@@ -107,9 +136,82 @@ impl ProtocolRegistry {
         self
     }
 
+    /// Registers the lint contract for the constructor of the same name.
+    /// Constructors without a contract are treated as opaque (unchecked).
+    pub fn add_contract(&mut self, contract: ProtoContract) -> &mut Self {
+        self.contracts.insert(contract.name.clone(), contract);
+        self
+    }
+
+    /// The registered contract for `ctor`, if any.
+    pub fn contract(&self, ctor: &str) -> Option<&ProtoContract> {
+        self.contracts.get(ctor)
+    }
+
+    /// Sets how [`ProtocolRegistry::build`] reacts to linter findings.
+    pub fn set_lint_mode(&mut self, mode: LintMode) -> &mut Self {
+        self.lint_mode = mode;
+        self
+    }
+
+    /// Lints `spec` against the registered contracts without building
+    /// anything. `externals` maps pre-existing instances (device protocols,
+    /// earlier `build` results) to what they produce.
+    pub fn lint(
+        &self,
+        spec: &str,
+        externals: &HashMap<String, ProtoContract>,
+        opts: &LintOptions,
+    ) -> Vec<Diagnostic> {
+        let ctors: HashSet<String> = self.ctors.keys().cloned().collect();
+        lint::lint_spec(spec, &ctors, &self.contracts, externals, opts)
+    }
+
+    /// Lints `spec` in the context of `kernel` — every protocol already
+    /// registered there (NICs, earlier builds) counts as an external whose
+    /// contract comes from [`crate::proto::Protocol::contract`].
+    pub fn lint_for_kernel(&self, kernel: &Arc<Kernel>, spec: &str) -> Vec<Diagnostic> {
+        let mut externals = HashMap::new();
+        for name in kernel.protocol_names() {
+            if let Ok(p) = kernel.get(&name) {
+                externals.insert(name, p.contract());
+            }
+        }
+        self.lint(spec, &externals, &LintOptions::default())
+    }
+
     /// Builds the protocols described by `spec` into `kernel`, bottom-up,
     /// then boots them in the same order. Returns the instances built.
+    ///
+    /// The spec is linted first; Error-level diagnostics reject the build
+    /// with [`XError::Lint`] unless the registry's [`LintMode`] says
+    /// otherwise. Use [`ProtocolRegistry::build_unchecked`] to bypass the
+    /// linter for a single deliberately ill-formed spec.
     pub fn build(&self, sim: &Sim, kernel: &Arc<Kernel>, spec: &str) -> XResult<Vec<ProtoId>> {
+        match self.lint_mode {
+            LintMode::Off => {}
+            mode => {
+                let diags = self.lint_for_kernel(kernel, spec);
+                if !diags.is_empty() && mode == LintMode::WarnOnly {
+                    for d in &diags {
+                        eprintln!("xk-lint: {d}");
+                    }
+                }
+                if mode == LintMode::Enforce && lint::has_errors(&diags) {
+                    return Err(XError::Lint(diags));
+                }
+            }
+        }
+        self.build_unchecked(sim, kernel, spec)
+    }
+
+    /// [`ProtocolRegistry::build`] without the lint pass.
+    pub fn build_unchecked(
+        &self,
+        sim: &Sim,
+        kernel: &Arc<Kernel>,
+        spec: &str,
+    ) -> XResult<Vec<ProtoId>> {
         let mut built = Vec::new();
         for (lineno, raw) in spec.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
@@ -151,14 +253,14 @@ impl ProtocolRegistry {
     }
 }
 
-struct ParsedLine {
-    instance: String,
-    ctor: String,
-    params: HashMap<String, String>,
-    down: Vec<String>,
+pub(crate) struct ParsedLine {
+    pub(crate) instance: String,
+    pub(crate) ctor: String,
+    pub(crate) params: HashMap<String, String>,
+    pub(crate) down: Vec<String>,
 }
 
-fn parse_line(line: &str) -> Result<ParsedLine, String> {
+pub(crate) fn parse_line(line: &str) -> Result<ParsedLine, String> {
     let (head, tail) = match line.split_once("->") {
         Some((h, t)) => (h.trim(), Some(t.trim())),
         None => (line.trim(), None),

@@ -46,6 +46,7 @@ pub mod cost;
 pub mod error;
 pub mod graph;
 pub mod kernel;
+pub mod lint;
 pub mod msg;
 pub mod proto;
 pub mod shim;

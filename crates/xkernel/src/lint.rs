@@ -1,0 +1,1064 @@
+//! Static analysis of protocol-graph specs (`xk-lint`).
+//!
+//! The paper's thesis is that protocol composition is a *configuration-time*
+//! decision, and its headline negative result — TCP cannot be layered over
+//! VIP because TCP's pseudo-header needs a stable participant address
+//! underneath (Section 5) — is a composition error that should be caught
+//! before the simulation runs. This module checks a graph spec (the text DSL
+//! in [`crate::graph`]) against per-protocol [`ProtoContract`]s **without
+//! constructing any protocol**, and reports structured [`Diagnostic`]s.
+//!
+//! ## Rule catalogue
+//!
+//! | id    | severity | checks |
+//! |-------|----------|--------|
+//! | XK001 | Error    | spec line fails to parse |
+//! | XK002 | Error    | unknown constructor name |
+//! | XK003 | Error    | lower reference to an unknown or later-defined instance (bottom-up / cycle-free wiring) |
+//! | XK004 | Error    | duplicate instance name |
+//! | XK005 | Error/Warning | lower-capability arity: required slots missing (Error), extra dangling capabilities (Warning) |
+//! | XK006 | Error    | address-kind mismatch across an edge (e.g. an Internet-consumer wired to a Hardware producer) |
+//! | XK007 | Error    | a protocol requiring stable participant addresses sits above an identity-virtualizing protocol (the Section 5 TCP-over-VIP rule) |
+//! | XK008 | Error/Warning | header budget: un-refragmentable headers exceed the wire MTU (Error); total path headers exceed the message headroom so pushes fall back to allocation (Warning) |
+//! | XK009 | Error/Warning | constructor-param schema: missing required key or non-numeric value (Error), unknown key (Warning) |
+//! | XK010 | Error/Warning | semaphore discipline: a layer blocks a shepherd on a reply with no demux-time signaler (Error); two reply-waiting layers nested on one path (Warning) |
+//!
+//! ## Suppression
+//!
+//! A spec may carry directive comments, and callers may pass an allow-set in
+//! [`LintOptions`]; both drop every diagnostic of the named rules:
+//!
+//! ```text
+//! # xk-lint: allow=XK008,XK010
+//! ```
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+use crate::graph::{parse_line, ParsedLine};
+use crate::msg::DEFAULT_HEADROOM;
+
+/// The wire MTU the header-budget rule (XK008) checks against. Mirrors
+/// `inet::eth::ETH_MTU`; duplicated here because the linter must not depend
+/// on any protocol crate.
+pub const WIRE_MTU: usize = 1500;
+
+/// Rule identifiers, one per check.
+pub mod rules {
+    /// Spec line fails to parse.
+    pub const PARSE: &str = "XK001";
+    /// Unknown constructor name.
+    pub const UNKNOWN_CTOR: &str = "XK002";
+    /// Lower reference to an unknown or later-defined instance.
+    pub const UNKNOWN_LOWER: &str = "XK003";
+    /// Duplicate instance name.
+    pub const DUPLICATE_INSTANCE: &str = "XK004";
+    /// Wrong number of lower capabilities.
+    pub const LOWER_ARITY: &str = "XK005";
+    /// Address-kind mismatch across an edge.
+    pub const ADDR_KIND: &str = "XK006";
+    /// Stable-participant protocol above an identity virtualizer (§5).
+    pub const STABLE_OVER_VIRTUAL: &str = "XK007";
+    /// Header budget versus MTU / headroom.
+    pub const HEADER_BUDGET: &str = "XK008";
+    /// Constructor-param schema violation.
+    pub const PARAM_SCHEMA: &str = "XK009";
+    /// Shepherd semaphore-discipline violation.
+    pub const SEMA_DISCIPLINE: &str = "XK010";
+}
+
+/// The kind of address a protocol speaks at its upper interface.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AddrKind {
+    /// A raw device endpoint (NIC attachment).
+    Device,
+    /// Hardware (Ethernet) addresses.
+    Hardware,
+    /// Internet host addresses.
+    Internet,
+    /// Port-addressed transport endpoints.
+    Transport,
+    /// RPC procedure/channel addressing.
+    Rpc,
+    /// An address-resolution service (ARP): not a data path.
+    Resolver,
+}
+
+impl fmt::Display for AddrKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AddrKind::Device => "device",
+            AddrKind::Hardware => "hardware",
+            AddrKind::Internet => "internet",
+            AddrKind::Transport => "transport",
+            AddrKind::Rpc => "rpc",
+            AddrKind::Resolver => "resolver",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What a protocol produces at its upper interface.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Produce {
+    /// A fixed address kind.
+    Kind(AddrKind),
+    /// Whatever its first lower produces (pass-through layers: `null`,
+    /// `handicap`).
+    Same,
+    /// Unknown — no edge into or out of this protocol is kind-checked.
+    Opaque,
+}
+
+/// One lower-capability slot: the address kinds acceptable in it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LowerSlot {
+    /// Acceptable producer kinds; empty accepts anything.
+    pub kinds: Vec<AddrKind>,
+}
+
+impl LowerSlot {
+    fn accepts(&self, kind: AddrKind) -> bool {
+        self.kinds.is_empty() || self.kinds.contains(&kind)
+    }
+}
+
+/// One `key=value` constructor parameter.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParamSpec {
+    /// Parameter key.
+    pub key: String,
+    /// Whether the constructor fails without it.
+    pub required: bool,
+    /// Whether the value must parse as an unsigned integer.
+    pub numeric: bool,
+}
+
+/// The wait/signal pairs a protocol's sessions perform on shepherd
+/// semaphores, declared statically so XK010 can reason about deadlocks
+/// without executing `sim.rs`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SemaContract {
+    /// `push` P's a bounded resource pool (e.g. SELECT's channel pool).
+    pub acquires_pool: bool,
+    /// `push` blocks the calling shepherd on a reply semaphore.
+    pub awaits_reply: bool,
+    /// `demux` V's the semaphores `push` blocks on (the matching signaler).
+    pub wakes_from_demux: bool,
+}
+
+/// Declarative metadata one protocol contributes to the linter.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProtoContract {
+    /// Constructor name this contract describes.
+    pub name: String,
+    /// Address kind produced at the upper interface.
+    pub produces: Produce,
+    /// Maximum bytes this layer pushes onto a message in one traversal.
+    pub max_header_bytes: usize,
+    /// `true` if the layer re-fragments oversized messages (FRAGMENT, IP,
+    /// TCP, monolithic Sprite): headers pushed above it are not a wire
+    /// burden.
+    pub fragments: bool,
+    /// `true` if the layer virtualizes participant identity (VIP): the
+    /// address a lower layer sees is not the stable end-to-end participant.
+    pub virtualizes_identity: bool,
+    /// `true` if the layer's wire format bakes in the participant address
+    /// it was opened with (TCP's pseudo-header) and therefore cannot sit
+    /// above a virtualizer.
+    pub requires_stable_participants: bool,
+    /// Bits of demux key the layer consumes from its header.
+    pub demux_key_bits: u32,
+    /// Required lower-capability slots, in order.
+    pub lowers: Vec<LowerSlot>,
+    /// When set, additional lowers must arrive in repeating groups of these
+    /// slots (IP's `(eth, arp)` interface pairs).
+    pub repeat: Option<Vec<LowerSlot>>,
+    /// Optional trailing slots (Sprite's ARP over raw ETH).
+    pub optional: Vec<LowerSlot>,
+    /// Constructor parameter schema.
+    pub params: Vec<ParamSpec>,
+    /// Shepherd semaphore behavior.
+    pub sema: SemaContract,
+}
+
+impl ProtoContract {
+    /// A contract producing a fixed address kind, with no lowers or params.
+    pub fn new(name: &str, produces: AddrKind) -> ProtoContract {
+        ProtoContract {
+            name: name.to_string(),
+            produces: Produce::Kind(produces),
+            max_header_bytes: 0,
+            fragments: false,
+            virtualizes_identity: false,
+            requires_stable_participants: false,
+            demux_key_bits: 0,
+            lowers: Vec::new(),
+            repeat: None,
+            optional: Vec::new(),
+            params: Vec::new(),
+            sema: SemaContract::default(),
+        }
+    }
+
+    /// A contract the linter knows nothing about: edges touching it are not
+    /// checked. This is the default for protocols without metadata.
+    pub fn opaque(name: &str) -> ProtoContract {
+        let mut c = ProtoContract::new(name, AddrKind::Device);
+        c.produces = Produce::Opaque;
+        c
+    }
+
+    /// A pass-through layer producing whatever its single lower produces.
+    pub fn passthrough(name: &str) -> ProtoContract {
+        let mut c = ProtoContract::new(name, AddrKind::Device);
+        c.produces = Produce::Same;
+        c.lowers = vec![LowerSlot { kinds: Vec::new() }];
+        c
+    }
+
+    /// Sets the per-traversal header contribution.
+    pub fn header(mut self, bytes: usize) -> ProtoContract {
+        self.max_header_bytes = bytes;
+        self
+    }
+
+    /// Marks the layer as re-fragmenting oversized messages.
+    pub fn fragments(mut self) -> ProtoContract {
+        self.fragments = true;
+        self
+    }
+
+    /// Marks the layer as virtualizing participant identity (VIP).
+    pub fn virtualizes_identity(mut self) -> ProtoContract {
+        self.virtualizes_identity = true;
+        self
+    }
+
+    /// Marks the layer as requiring stable participant addresses (TCP).
+    pub fn requires_stable_participants(mut self) -> ProtoContract {
+        self.requires_stable_participants = true;
+        self
+    }
+
+    /// Sets the demux key width in bits.
+    pub fn demux_key_bits(mut self, bits: u32) -> ProtoContract {
+        self.demux_key_bits = bits;
+        self
+    }
+
+    /// Appends a required lower slot accepting the given kinds.
+    pub fn lower(mut self, kinds: &[AddrKind]) -> ProtoContract {
+        self.lowers.push(LowerSlot {
+            kinds: kinds.to_vec(),
+        });
+        self
+    }
+
+    /// Declares that lowers repeat in groups of these slots after the
+    /// required ones.
+    pub fn repeating(mut self, group: &[&[AddrKind]]) -> ProtoContract {
+        self.repeat = Some(
+            group
+                .iter()
+                .map(|kinds| LowerSlot {
+                    kinds: kinds.to_vec(),
+                })
+                .collect(),
+        );
+        self
+    }
+
+    /// Appends an optional trailing lower slot.
+    pub fn optional_lower(mut self, kinds: &[AddrKind]) -> ProtoContract {
+        self.optional.push(LowerSlot {
+            kinds: kinds.to_vec(),
+        });
+        self
+    }
+
+    /// Declares a constructor parameter.
+    pub fn param(mut self, key: &str, required: bool, numeric: bool) -> ProtoContract {
+        self.params.push(ParamSpec {
+            key: key.to_string(),
+            required,
+            numeric,
+        });
+        self
+    }
+
+    /// Sets the semaphore behavior.
+    pub fn sema(mut self, sema: SemaContract) -> ProtoContract {
+        self.sema = sema;
+        self
+    }
+}
+
+/// Diagnostic severity. `Error` fails `ProtocolRegistry::build` by default.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Suspicious but buildable.
+    Warning,
+    /// The configuration is wrong; the build is rejected.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One linter finding.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// Rule id, e.g. `"XK007"` (see [`rules`]).
+    pub rule: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// 1-based spec line the finding anchors to.
+    pub line: usize,
+    /// Instance name the finding is about.
+    pub instance: String,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub hint: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {}: {} {} [{}] {} (hint: {})",
+            self.line, self.severity, self.rule, self.instance, self.message, self.hint
+        )
+    }
+}
+
+/// Caller-side lint configuration.
+#[derive(Clone, Default, Debug)]
+pub struct LintOptions {
+    /// Rule ids to suppress, merged with in-spec `# xk-lint: allow=` lines.
+    pub allow: BTreeSet<String>,
+}
+
+/// A resolved graph node during analysis.
+struct Node {
+    line: usize,
+    ctor: String,
+    contract: ProtoContract,
+    lowers: Vec<String>,
+    params: HashMap<String, String>,
+}
+
+/// Lints `spec` against `contracts` (keyed by constructor name).
+///
+/// * `ctors`: the known constructor vocabulary; names outside it raise
+///   XK002. Constructors without a contract are treated as
+///   [`ProtoContract::opaque`].
+/// * `externals`: instances that exist before the spec is built (device
+///   protocols such as `nic0`, or instances from an earlier `build` call on
+///   the same kernel), with the contract describing what they produce.
+pub fn lint_spec(
+    spec: &str,
+    ctors: &HashSet<String>,
+    contracts: &HashMap<String, ProtoContract>,
+    externals: &HashMap<String, ProtoContract>,
+    opts: &LintOptions,
+) -> Vec<Diagnostic> {
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut allow = opts.allow.clone();
+    let mut nodes: Vec<(String, Node)> = Vec::new();
+    let mut defined: HashSet<String> = externals.keys().cloned().collect();
+
+    for (idx, raw) in spec.lines().enumerate() {
+        let lineno = idx + 1;
+        if let Some(list) = raw
+            .trim()
+            .strip_prefix('#')
+            .map(str::trim)
+            .and_then(|c| c.strip_prefix("xk-lint:"))
+            .map(str::trim)
+            .and_then(|c| c.strip_prefix("allow="))
+        {
+            allow.extend(list.split(',').map(|r| r.trim().to_string()));
+            continue;
+        }
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let ParsedLine {
+            instance,
+            ctor,
+            params,
+            down,
+        } = match parse_line(line) {
+            Ok(p) => p,
+            Err(e) => {
+                diags.push(Diagnostic {
+                    rule: rules::PARSE,
+                    severity: Severity::Error,
+                    line: lineno,
+                    instance: line.to_string(),
+                    message: format!("cannot parse spec line: {e}"),
+                    hint: "expected 'instance[: ctor] [key=value ...] [-> lower ...]'".into(),
+                });
+                continue;
+            }
+        };
+        if !ctors.contains(&ctor) {
+            diags.push(Diagnostic {
+                rule: rules::UNKNOWN_CTOR,
+                severity: Severity::Error,
+                line: lineno,
+                instance: instance.clone(),
+                message: format!("unknown constructor '{ctor}'"),
+                hint: "register the constructor, or fix the spelling".into(),
+            });
+        }
+        if !defined.insert(instance.clone()) {
+            diags.push(Diagnostic {
+                rule: rules::DUPLICATE_INSTANCE,
+                severity: Severity::Error,
+                line: lineno,
+                instance: instance.clone(),
+                message: "duplicate instance name".into(),
+                hint: "give the second instance a distinct name ('eth1: eth')".into(),
+            });
+        }
+        for l in &down {
+            if !defined.contains(l) {
+                diags.push(Diagnostic {
+                    rule: rules::UNKNOWN_LOWER,
+                    severity: Severity::Error,
+                    line: lineno,
+                    instance: instance.clone(),
+                    message: format!(
+                        "lower '{l}' is not defined on an earlier line (the graph is \
+                         configured bottom-up, so this also rejects cycles)"
+                    ),
+                    hint: format!("move the line defining '{l}' above this one"),
+                });
+            }
+        }
+        let contract = contracts
+            .get(&ctor)
+            .cloned()
+            .unwrap_or_else(|| ProtoContract::opaque(&ctor));
+        nodes.push((
+            instance.clone(),
+            Node {
+                line: lineno,
+                ctor,
+                contract,
+                lowers: down,
+                params,
+            },
+        ));
+    }
+
+    let by_name: HashMap<&str, &Node> = nodes.iter().map(|(n, node)| (n.as_str(), node)).collect();
+
+    for (name, node) in &nodes {
+        check_arity(name, node, &mut diags);
+        check_edge_kinds(name, node, &by_name, externals, &mut diags);
+        check_params(name, node, &mut diags);
+        if node.contract.sema.awaits_reply && !node.contract.sema.wakes_from_demux {
+            diags.push(Diagnostic {
+                rule: rules::SEMA_DISCIPLINE,
+                severity: Severity::Error,
+                line: node.line,
+                instance: name.clone(),
+                message: format!(
+                    "'{}' blocks a shepherd on a reply semaphore but its demux never \
+                     signals it: every push deadlocks until the timeout",
+                    node.ctor
+                ),
+                hint: "V the reply semaphore from demux, or stop blocking in push".into(),
+            });
+        }
+    }
+
+    check_paths(&nodes, &by_name, externals, &mut diags);
+
+    diags.retain(|d| !allow.contains(d.rule));
+    diags.sort_by_key(|d| (d.line, d.rule, d.instance.clone()));
+    diags.dedup();
+    diags
+}
+
+/// True when `diags` contains at least one `Error`.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+fn check_arity(name: &str, node: &Node, diags: &mut Vec<Diagnostic>) {
+    let c = &node.contract;
+    if c.produces == Produce::Opaque {
+        return;
+    }
+    let required = c.lowers.len();
+    let given = node.lowers.len();
+    if given < required {
+        diags.push(Diagnostic {
+            rule: rules::LOWER_ARITY,
+            severity: Severity::Error,
+            line: node.line,
+            instance: name.to_string(),
+            message: format!(
+                "'{}' requires {required} lower protocol(s), got {given}",
+                node.ctor
+            ),
+            hint: format!("list {required} lower(s) after '->'"),
+        });
+        return;
+    }
+    let extra = given - required;
+    if let Some(group) = &c.repeat {
+        if !extra.is_multiple_of(group.len()) {
+            diags.push(Diagnostic {
+                rule: rules::LOWER_ARITY,
+                severity: Severity::Error,
+                line: node.line,
+                instance: name.to_string(),
+                message: format!(
+                    "'{}' takes lowers in groups of {}, got {given}",
+                    node.ctor,
+                    group.len()
+                ),
+                hint: "complete the last group (e.g. every eth needs its arp)".into(),
+            });
+        }
+    } else if extra > c.optional.len() {
+        let used = required + c.optional.len();
+        diags.push(Diagnostic {
+            rule: rules::LOWER_ARITY,
+            severity: Severity::Warning,
+            line: node.line,
+            instance: name.to_string(),
+            message: format!(
+                "'{}' uses at most {used} lower(s); capabilities {:?} are dangling (never opened)",
+                node.ctor,
+                &node.lowers[used..]
+            ),
+            hint: "drop the unused lower(s) — dead capabilities hide wiring mistakes".into(),
+        });
+    }
+}
+
+/// Resolves the address kind `instance` produces, following pass-through
+/// chains. `None` for opaque or unresolvable producers.
+fn produced_kind(
+    instance: &str,
+    by_name: &HashMap<&str, &Node>,
+    externals: &HashMap<String, ProtoContract>,
+) -> Option<AddrKind> {
+    let mut cur = instance.to_string();
+    // Bottom-up wiring guarantees termination, but guard anyway.
+    for _ in 0..64 {
+        let produces = match by_name.get(cur.as_str()) {
+            Some(node) => node.contract.produces,
+            None => externals.get(&cur)?.produces,
+        };
+        match produces {
+            Produce::Kind(k) => return Some(k),
+            Produce::Opaque => return None,
+            Produce::Same => {
+                cur = by_name.get(cur.as_str())?.lowers.first()?.clone();
+            }
+        }
+    }
+    None
+}
+
+fn check_edge_kinds(
+    name: &str,
+    node: &Node,
+    by_name: &HashMap<&str, &Node>,
+    externals: &HashMap<String, ProtoContract>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let c = &node.contract;
+    if c.produces == Produce::Opaque {
+        return;
+    }
+    // Lay out the slot each given lower lands in: required, then repeating
+    // groups or optionals.
+    let mut slots: Vec<&LowerSlot> = c.lowers.iter().collect();
+    let extra = node.lowers.len().saturating_sub(c.lowers.len());
+    if let Some(group) = &c.repeat {
+        for i in 0..extra {
+            slots.push(&group[i % group.len()]);
+        }
+    } else {
+        slots.extend(c.optional.iter().take(extra));
+    }
+    for (i, lower) in node.lowers.iter().enumerate() {
+        let Some(slot) = slots.get(i) else { break };
+        let Some(kind) = produced_kind(lower, by_name, externals) else {
+            continue;
+        };
+        if !slot.accepts(kind) {
+            let want = slot
+                .kinds
+                .iter()
+                .map(AddrKind::to_string)
+                .collect::<Vec<_>>()
+                .join("|");
+            diags.push(Diagnostic {
+                rule: rules::ADDR_KIND,
+                severity: Severity::Error,
+                line: node.line,
+                instance: name.to_string(),
+                message: format!(
+                    "lower slot {i} of '{}' expects a {want} producer, but '{lower}' \
+                     produces {kind} addresses",
+                    node.ctor
+                ),
+                hint: format!("wire slot {i} to a protocol producing {want} addresses"),
+            });
+        }
+    }
+}
+
+fn check_params(name: &str, node: &Node, diags: &mut Vec<Diagnostic>) {
+    let c = &node.contract;
+    if c.produces == Produce::Opaque {
+        return;
+    }
+    for spec in &c.params {
+        match node.params.get(&spec.key) {
+            None if spec.required => diags.push(Diagnostic {
+                rule: rules::PARAM_SCHEMA,
+                severity: Severity::Error,
+                line: node.line,
+                instance: name.to_string(),
+                message: format!("'{}' requires param {}=", node.ctor, spec.key),
+                hint: format!("add {}=<value> to the line", spec.key),
+            }),
+            Some(v) if spec.numeric && v.parse::<u64>().is_err() => diags.push(Diagnostic {
+                rule: rules::PARAM_SCHEMA,
+                severity: Severity::Error,
+                line: node.line,
+                instance: name.to_string(),
+                message: format!("param {}={v} is not a number", spec.key),
+                hint: format!("{} takes an unsigned integer", spec.key),
+            }),
+            _ => {}
+        }
+    }
+    for key in node.params.keys() {
+        if !c.params.iter().any(|p| &p.key == key) {
+            diags.push(Diagnostic {
+                rule: rules::PARAM_SCHEMA,
+                severity: Severity::Warning,
+                line: node.line,
+                instance: name.to_string(),
+                message: format!("'{}' does not take param '{key}' (ignored)", node.ctor),
+                hint: "remove the parameter or fix its spelling".into(),
+            });
+        }
+    }
+}
+
+/// Path-sensitive checks: XK007 (stable-over-virtual), XK008 (header
+/// budget), XK010 (nested shepherd waits). Walks every root-to-leaf path;
+/// graphs are a handful of nodes, so enumeration is cheap.
+fn check_paths(
+    nodes: &[(String, Node)],
+    by_name: &HashMap<&str, &Node>,
+    externals: &HashMap<String, ProtoContract>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let used: HashSet<&str> = nodes
+        .iter()
+        .flat_map(|(_, n)| n.lowers.iter().map(String::as_str))
+        .collect();
+    let mut seen: HashSet<(usize, &'static str, String, String)> = HashSet::new();
+    for (root, _) in nodes.iter().filter(|(n, _)| !used.contains(n.as_str())) {
+        let mut path: Vec<&str> = Vec::new();
+        walk(root, by_name, &mut path, &mut |path| {
+            check_one_path(path, by_name, externals, diags, &mut seen);
+        });
+    }
+}
+
+fn walk<'a>(
+    name: &'a str,
+    by_name: &HashMap<&str, &'a Node>,
+    path: &mut Vec<&'a str>,
+    visit: &mut impl FnMut(&[&str]),
+) {
+    if path.contains(&name) {
+        return; // cycles are reported as XK003; avoid infinite recursion
+    }
+    path.push(name);
+    match by_name.get(name) {
+        Some(node) if !node.lowers.is_empty() => {
+            for lower in &node.lowers {
+                walk(lower, by_name, path, visit);
+            }
+        }
+        _ => visit(path),
+    }
+    path.pop();
+}
+
+fn contract_of<'a>(
+    name: &str,
+    by_name: &'a HashMap<&str, &Node>,
+    externals: &'a HashMap<String, ProtoContract>,
+) -> Option<&'a ProtoContract> {
+    by_name
+        .get(name)
+        .map(|n| &n.contract)
+        .or_else(|| externals.get(name))
+}
+
+fn line_of(name: &str, by_name: &HashMap<&str, &Node>) -> usize {
+    by_name.get(name).map(|n| n.line).unwrap_or(0)
+}
+
+fn check_one_path(
+    path: &[&str],
+    by_name: &HashMap<&str, &Node>,
+    externals: &HashMap<String, ProtoContract>,
+    diags: &mut Vec<Diagnostic>,
+    seen: &mut HashSet<(usize, &'static str, String, String)>,
+) {
+    let mut push = |rule: &'static str,
+                    severity: Severity,
+                    line: usize,
+                    instance: &str,
+                    message: String,
+                    hint: &str,
+                    diags: &mut Vec<Diagnostic>| {
+        if seen.insert((line, rule, instance.to_string(), message.clone())) {
+            diags.push(Diagnostic {
+                rule,
+                severity,
+                line,
+                instance: instance.to_string(),
+                message,
+                hint: hint.into(),
+            });
+        }
+    };
+
+    // XK007: a stable-participant protocol above an identity virtualizer.
+    for (i, upper) in path.iter().enumerate() {
+        let Some(uc) = contract_of(upper, by_name, externals) else {
+            continue;
+        };
+        if !uc.requires_stable_participants {
+            continue;
+        }
+        for lower in &path[i + 1..] {
+            let Some(lc) = contract_of(lower, by_name, externals) else {
+                continue;
+            };
+            if lc.virtualizes_identity {
+                push(
+                    rules::STABLE_OVER_VIRTUAL,
+                    Severity::Error,
+                    line_of(upper, by_name),
+                    upper,
+                    format!(
+                        "'{}' requires stable participant addresses but is layered above \
+                         '{lower}', which virtualizes participant identity — the Section 5 \
+                         rule: TCP's pseudo-header checksum binds the address VIP rewrites",
+                        uc.name
+                    ),
+                    "compose the stable-participant protocol directly over ip, or use an \
+                     RPC protocol that does not bake addresses into its wire format",
+                    diags,
+                );
+            }
+        }
+    }
+
+    // XK008: header budget. Headers below the lowest re-fragmenting layer
+    // reach the wire as-is; they must leave payload room within the MTU.
+    let hdr = |name: &str| {
+        contract_of(name, by_name, externals)
+            .map(|c| c.max_header_bytes)
+            .unwrap_or(0)
+    };
+    let total: usize = path.iter().map(|n| hdr(n)).sum();
+    let lowest_frag = path
+        .iter()
+        .rposition(|n| contract_of(n, by_name, externals).is_some_and(|c| c.fragments));
+    let wire_burden: usize = match lowest_frag {
+        Some(i) => path[i..].iter().map(|n| hdr(n)).sum(),
+        None => total,
+    };
+    let top = path[0];
+    if wire_burden >= WIRE_MTU {
+        push(
+            rules::HEADER_BUDGET,
+            Severity::Error,
+            line_of(top, by_name),
+            top,
+            format!(
+                "headers below the last fragmenting layer total {wire_burden} bytes, \
+                 >= the {WIRE_MTU}-byte wire MTU: no payload can ever be delivered"
+            ),
+            "insert a fragment layer above the header-heavy protocols, or shrink headers",
+            diags,
+        );
+    } else if total > DEFAULT_HEADROOM {
+        push(
+            rules::HEADER_BUDGET,
+            Severity::Warning,
+            line_of(top, by_name),
+            top,
+            format!(
+                "path headers total {total} bytes, exceeding the {DEFAULT_HEADROOM}-byte \
+                 pre-allocated headroom: push_header falls back to per-header allocation"
+            ),
+            "raise the message headroom or trim the stack (the paper's §5 buffer result)",
+            diags,
+        );
+    }
+
+    // XK010 (warning half): nested reply-waiting layers on one path. The
+    // upper layer's shepherd holds its reply semaphore while the lower
+    // layer's timeout machinery runs — channel exhaustion cascades.
+    let awaiters: Vec<&&str> = path
+        .iter()
+        .filter(|n| contract_of(n, by_name, externals).is_some_and(|c| c.sema.awaits_reply))
+        .collect();
+    if awaiters.len() >= 2 {
+        let top_waiter = awaiters[0];
+        let below: Vec<&str> = awaiters[1..].iter().map(|n| **n).collect();
+        push(
+            rules::SEMA_DISCIPLINE,
+            Severity::Warning,
+            line_of(top_waiter, by_name),
+            top_waiter,
+            format!(
+                "nested shepherd waits: '{top_waiter}' blocks on a reply while {below:?} \
+                 also block below it; a lower-layer timeout pins the upper semaphore and \
+                 can exhaust the channel pool"
+            ),
+            "let exactly one layer in a stack own the request/reply wait",
+            diags,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctors(contracts: &HashMap<String, ProtoContract>) -> HashSet<String> {
+        contracts.keys().cloned().collect()
+    }
+
+    /// A miniature vocabulary mirroring the real stack's shape.
+    fn vocab() -> HashMap<String, ProtoContract> {
+        let mut m = HashMap::new();
+        for c in [
+            ProtoContract::new("wire", AddrKind::Hardware)
+                .lower(&[AddrKind::Device])
+                .header(14),
+            ProtoContract::new("net", AddrKind::Internet)
+                .lower(&[AddrKind::Hardware])
+                .header(20)
+                .fragments(),
+            ProtoContract::new("virt", AddrKind::Internet)
+                .lower(&[AddrKind::Internet])
+                .virtualizes_identity(),
+            ProtoContract::new("stream", AddrKind::Transport)
+                .lower(&[AddrKind::Internet])
+                .header(20)
+                .requires_stable_participants()
+                .sema(SemaContract {
+                    acquires_pool: false,
+                    awaits_reply: true,
+                    wakes_from_demux: true,
+                }),
+            ProtoContract::new("rpc", AddrKind::Rpc)
+                .lower(&[AddrKind::Internet, AddrKind::Transport])
+                .header(18)
+                .param("channels", false, true)
+                .sema(SemaContract {
+                    acquires_pool: true,
+                    awaits_reply: true,
+                    wakes_from_demux: true,
+                }),
+            ProtoContract::passthrough("pass").header(4),
+            ProtoContract::new("stuck", AddrKind::Rpc)
+                .lower(&[])
+                .sema(SemaContract {
+                    acquires_pool: false,
+                    awaits_reply: true,
+                    wakes_from_demux: false,
+                }),
+        ] {
+            m.insert(c.name.clone(), c);
+        }
+        m
+    }
+
+    fn ext() -> HashMap<String, ProtoContract> {
+        let mut m = HashMap::new();
+        m.insert(
+            "nic0".to_string(),
+            ProtoContract::new("nic", AddrKind::Device),
+        );
+        m
+    }
+
+    fn run(spec: &str) -> Vec<Diagnostic> {
+        let v = vocab();
+        lint_spec(spec, &ctors(&v), &v, &ext(), &LintOptions::default())
+    }
+
+    #[test]
+    fn clean_stack_has_no_diagnostics() {
+        let d = run("wire -> nic0\nnet -> wire\nrpc -> net\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn parse_and_unknown_ctor() {
+        let d = run("a: b c d=1\nmystery -> nic0\n");
+        assert!(d.iter().any(|d| d.rule == rules::PARSE && d.line == 1));
+        assert!(d
+            .iter()
+            .any(|d| d.rule == rules::UNKNOWN_CTOR && d.line == 2));
+    }
+
+    #[test]
+    fn forward_reference_and_duplicate() {
+        let d = run("net -> wire\nwire -> nic0\nwire -> nic0\n");
+        assert!(d
+            .iter()
+            .any(|d| d.rule == rules::UNKNOWN_LOWER && d.line == 1));
+        assert!(d
+            .iter()
+            .any(|d| d.rule == rules::DUPLICATE_INSTANCE && d.line == 3));
+    }
+
+    #[test]
+    fn arity_missing_and_dangling() {
+        let d = run("wire -> nic0\nnet\n");
+        assert!(d
+            .iter()
+            .any(|d| d.rule == rules::LOWER_ARITY && d.severity == Severity::Error));
+        let d = run("wire -> nic0\nnet -> wire wire\n");
+        assert!(d
+            .iter()
+            .any(|d| d.rule == rules::LOWER_ARITY && d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn kind_mismatch_detected_through_passthrough() {
+        // net expects a hardware producer; pass relays nic0's device kind.
+        let d = run("pass -> nic0\nnet -> pass\n");
+        assert!(
+            d.iter().any(|d| d.rule == rules::ADDR_KIND && d.line == 2),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn stable_over_virtualizer_is_an_error() {
+        let d = run("wire -> nic0\nnet -> wire\nvirt -> net\nstream -> virt\n");
+        let hit = d
+            .iter()
+            .find(|d| d.rule == rules::STABLE_OVER_VIRTUAL)
+            .expect("XK007 fires");
+        assert_eq!(hit.severity, Severity::Error);
+        assert!(hit.message.contains("virtualizes participant identity"));
+        // Directly over net it is fine.
+        let d = run("wire -> nic0\nnet -> wire\nstream -> net\n");
+        assert!(!d.iter().any(|d| d.rule == rules::STABLE_OVER_VIRTUAL));
+    }
+
+    #[test]
+    fn header_budget_warning_and_error() {
+        // 40 pass layers x 4 bytes + wire 14 > 128 headroom, but net (which
+        // fragments) keeps the wire burden legal -> warning only.
+        let mut spec = String::from("wire -> nic0\nnet -> wire\n");
+        let mut below = String::from("net");
+        for i in 0..40 {
+            spec.push_str(&format!("p{i}: pass -> {below}\n"));
+            below = format!("p{i}");
+        }
+        let d = run(&spec);
+        assert!(d
+            .iter()
+            .any(|d| d.rule == rules::HEADER_BUDGET && d.severity == Severity::Warning));
+        assert!(!d.iter().any(|d| d.severity == Severity::Error), "{d:?}");
+
+        // 400 pass layers below any fragmenter: 1600 bytes of wire headers.
+        let mut spec = String::from("wire -> nic0\n");
+        let mut below = String::from("wire");
+        for i in 0..400 {
+            spec.push_str(&format!("p{i}: pass -> {below}\n"));
+            below = format!("p{i}");
+        }
+        let d = run(&spec);
+        assert!(d
+            .iter()
+            .any(|d| d.rule == rules::HEADER_BUDGET && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn param_schema_rules() {
+        let d = run("wire -> nic0\nnet -> wire\nrpc channels=many -> net\n");
+        assert!(d
+            .iter()
+            .any(|d| d.rule == rules::PARAM_SCHEMA && d.severity == Severity::Error));
+        let d = run("wire -> nic0\nnet -> wire\nrpc bogus=1 -> net\n");
+        assert!(d
+            .iter()
+            .any(|d| d.rule == rules::PARAM_SCHEMA && d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn sema_deadlock_error_and_nesting_warning() {
+        // stuck awaits a reply nothing ever signals.
+        let d = run("wire -> nic0\nnet -> wire\nstuck -> net\n");
+        let hit = d
+            .iter()
+            .find(|d| d.rule == rules::SEMA_DISCIPLINE && d.severity == Severity::Error)
+            .expect("XK010 error fires");
+        assert!(hit.message.contains("deadlock"));
+        // rpc over stream: two reply-waiting layers nested.
+        let d = run("wire -> nic0\nnet -> wire\nstream -> net\nrpc -> stream\n");
+        assert!(d
+            .iter()
+            .any(|d| d.rule == rules::SEMA_DISCIPLINE && d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn suppression_via_directive_and_options() {
+        let spec = "# xk-lint: allow=XK006\npass -> nic0\nnet -> pass\n";
+        let v = vocab();
+        let d = lint_spec(spec, &ctors(&v), &v, &ext(), &LintOptions::default());
+        assert!(d.is_empty(), "{d:?}");
+        let mut opts = LintOptions::default();
+        opts.allow.insert(rules::ADDR_KIND.to_string());
+        let d = lint_spec("pass -> nic0\nnet -> pass\n", &ctors(&v), &v, &ext(), &opts);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn diagnostics_render_with_rule_and_hint() {
+        let d = run("wire -> nic0\nnet -> wire\nvirt -> net\nstream -> virt\n");
+        let msg = d
+            .iter()
+            .find(|d| d.rule == rules::STABLE_OVER_VIRTUAL)
+            .unwrap()
+            .to_string();
+        assert!(msg.contains("XK007") && msg.contains("hint:"), "{msg}");
+    }
+}

@@ -648,6 +648,95 @@ mod tests {
     }
 
     #[test]
+    fn pop_across_many_segments() {
+        // Three rope segments via concat; a pop spanning all three copies.
+        let mut m = Message::concat([
+            Message::from_user(payload(3)),
+            Message::from_user(payload(3)),
+            Message::from_user(payload(3)),
+        ]);
+        assert_eq!(m.segment_count(), 3);
+        let h = m.pop_header(8).unwrap();
+        assert!(matches!(h, Popped::Owned(_)));
+        assert_eq!(h.stats().copied, 8);
+        assert_eq!(&*h, &[0, 1, 2, 0, 1, 2, 0, 1][..]);
+        drop(h);
+        assert_eq!(m.to_vec(), vec![2]);
+    }
+
+    #[test]
+    fn pop_from_rope_borrows_while_segment_survives() {
+        // Front is empty (no headers pushed), so pops read from the rope:
+        // a partial pop borrows, the pop that consumes the segment copies.
+        let mut m = Message::from_user(payload(8));
+        let h = m.pop_header(4).unwrap();
+        assert!(matches!(h, Popped::Borrowed(_)));
+        assert_eq!(h.stats().copied, 0);
+        drop(h);
+        let h = m.pop_header(4).unwrap();
+        assert!(matches!(h, Popped::Owned(_)));
+        assert_eq!(&*h, &payload(8)[4..]);
+        drop(h);
+        assert!(m.is_empty());
+        // A zero-length pop is a no-op borrow, not an error.
+        assert!(matches!(m.pop_header(0).unwrap(), Popped::Borrowed(&[])));
+    }
+
+    #[test]
+    fn split_boundaries_after_header_pushes() {
+        // split_off(0) and split_off(len) must also work once the front
+        // buffer holds pushed headers (the freeze path), and the tail must
+        // inherit the allocation policy.
+        for policy in [HeaderPolicy::default(), HeaderPolicy::AllocPerHeader] {
+            let mut m = Message::from_user_with(policy, payload(6));
+            m.push_header(b"HH");
+            let mut tail = m.split_off(0).unwrap();
+            assert!(m.is_empty());
+            assert_eq!(tail.len(), 8);
+            assert_eq!(tail.policy(), policy);
+            let end = tail.split_off(tail.len()).unwrap();
+            assert!(end.is_empty());
+            assert_eq!(end.policy(), policy);
+            assert_eq!(tail.to_vec(), [&b"HH"[..], &payload(6)].concat());
+        }
+    }
+
+    #[test]
+    fn split_at_exact_segment_boundary_moves_whole_segments() {
+        let mut m = Message::concat([
+            Message::from_user(payload(4)),
+            Message::from_user(payload(4)),
+        ]);
+        let tail = m.split_off(4).unwrap();
+        // No segment was cut: each half keeps one intact segment.
+        assert_eq!(m.segment_count(), 1);
+        assert_eq!(tail.segment_count(), 1);
+        assert_eq!(m.to_vec(), payload(4));
+        assert_eq!(tail.to_vec(), payload(4));
+    }
+
+    #[test]
+    fn push_after_split_under_both_policies() {
+        // split_off freezes the front, so the next headroom push must
+        // re-reserve; pushes after that are pointer adjustments again.
+        let mut m = Message::from_user(payload(16));
+        let _ = m.split_off(8).unwrap();
+        assert!(m.push_header(b"NEW").allocated);
+        assert!(!m.push_header(b"TOP").allocated);
+        assert_eq!(
+            m.to_vec(),
+            [&b"TOP"[..], b"NEW", &payload(16)[..8]].concat()
+        );
+        // AllocPerHeader is oblivious: it allocated per push anyway.
+        let mut a = Message::from_user_with(HeaderPolicy::AllocPerHeader, payload(8));
+        let _ = a.split_off(4).unwrap();
+        let s = a.push_header(b"X");
+        assert!(s.allocated);
+        assert_eq!(s.copied, 1);
+        assert_eq!(a.to_vec(), [&b"X"[..], &payload(8)[..4]].concat());
+    }
+
+    #[test]
     fn headroom_exhaustion_allocates_once_then_adjusts() {
         let mut m = Message::from_user_with(HeaderPolicy::Headroom { headroom: 8 }, payload(4));
         assert!(!m.push_header(&[1u8; 8]).allocated, "fits the headroom");

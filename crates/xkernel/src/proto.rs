@@ -211,6 +211,16 @@ pub trait Protocol: Send + Sync {
         Ok(())
     }
 
+    /// The declarative composition contract this protocol contributes to
+    /// the static graph linter ([`crate::lint`]): address kinds consumed
+    /// and produced, header budget, identity preservation, lower-layer
+    /// slots, and semaphore discipline. The default is an opaque contract
+    /// the linter does not check; protocols override it so composition
+    /// errors are caught before the simulator runs.
+    fn contract(&self) -> crate::lint::ProtoContract {
+        crate::lint::ProtoContract::opaque(self.name())
+    }
+
     /// Downcast support (e.g. registering server procedures on a concrete
     /// SELECT protocol held behind `Arc<dyn Protocol>`).
     fn as_any(&self) -> &dyn Any;

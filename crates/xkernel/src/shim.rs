@@ -107,6 +107,10 @@ impl Protocol for NullLayer {
         self.me
     }
 
+    fn contract(&self) -> crate::lint::ProtoContract {
+        null_contract()
+    }
+
     fn open(&self, ctx: &Ctx, _upper: ProtoId, parts: &ParticipantSet) -> XResult<SessionRef> {
         let num = Self::num_of(parts)?;
         ctx.charge(ctx.cost().session_create);
@@ -253,6 +257,10 @@ impl Session for HandicapSession {
 }
 
 impl Protocol for HandicapLayer {
+    fn contract(&self) -> crate::lint::ProtoContract {
+        handicap_contract()
+    }
+
     fn name(&self) -> &'static str {
         self.name
     }
@@ -307,12 +315,32 @@ impl Protocol for HandicapLayer {
     }
 }
 
-/// Registers the shim constructors into a graph vocabulary:
+/// Lint contract for the `null` layer: a pass-through pushing its 4-byte
+/// header, transparent to addressing.
+pub fn null_contract() -> crate::lint::ProtoContract {
+    crate::lint::ProtoContract::passthrough("null")
+        .header(NULL_HDR_LEN)
+        .demux_key_bits(16)
+}
+
+/// Lint contract for the `handicap` layer: pure pass-through (no header on
+/// the wire, only modelled cost).
+pub fn handicap_contract() -> crate::lint::ProtoContract {
+    crate::lint::ProtoContract::passthrough("handicap")
+        .param("as", false, false)
+        .param("switches", false, true)
+        .param("copy256", false, true)
+        .param("fixed_ns", false, true)
+}
+
+/// Registers the shim constructors and their lint contracts:
 ///
 /// * `null -> <lower>` — a trivial complete layer (scaling ablation)
 /// * `handicap [as=<name>] [switches=N] [copy256=N] [fixed_ns=N] -> <lower>`
 ///   — modelled-environment overhead layer
 pub fn register_ctors(reg: &mut crate::graph::ProtocolRegistry) {
+    reg.add_contract(null_contract());
+    reg.add_contract(handicap_contract());
     reg.add("null", |a: &crate::graph::GraphArgs<'_>| {
         Ok(NullLayer::new(a.me, a.down(0)?) as crate::proto::ProtocolRef)
     });

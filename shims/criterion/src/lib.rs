@@ -1,0 +1,267 @@
+//! A drop-in subset of the `criterion` API for hermetic builds.
+//!
+//! The workspace's benchmark harness (`crates/bench/benches/paper.rs`) uses
+//! groups, throughput annotations, `bench_function`, and the
+//! `criterion_group!`/`criterion_main!` macros. This shim reproduces that
+//! surface with a simple wall-clock measurement loop and a plain-text
+//! report: warm up, then repeat the routine until `measurement_time`
+//! elapses (at least `sample_size` iterations), and print the mean
+//! per-iteration time. No statistics, plots, or baselines.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from eliding a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver holding measurement settings.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the minimum number of measured iterations.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets how long to keep measuring before reporting.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets how long to run the routine before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation: per-iteration work for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of benchmarks sharing settings and an optional throughput.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Measures `routine` and prints one report line.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+
+        // Warm-up: run without recording.
+        let warm_until = Instant::now() + self.criterion.warm_up_time;
+        while Instant::now() < warm_until {
+            routine(&mut b);
+        }
+        b.total = Duration::ZERO;
+        b.iters = 0;
+
+        let measure_until = Instant::now() + self.criterion.measurement_time;
+        while b.iters < self.criterion.sample_size as u64 || Instant::now() < measure_until {
+            routine(&mut b);
+        }
+
+        let mean = if b.iters > 0 {
+            b.total / b.iters as u32
+        } else {
+            Duration::ZERO
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+                let gib = n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0 * 1024.0);
+                format!("  ({gib:.3} GiB/s)")
+            }
+            Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                format!("  ({:.0} elem/s)", n as f64 / mean.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!(
+            "  {}/{:<32} {:>12.3} us/iter over {} iters{rate}",
+            self.name,
+            id.id,
+            mean.as_secs_f64() * 1e6,
+            b.iters,
+        );
+        self
+    }
+
+    /// Ends the group (report lines are already printed).
+    pub fn finish(self) {}
+}
+
+/// Timing context passed to each benchmark routine.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`, keeping its result live via black_box.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.total += start.elapsed();
+        self.iters += 1;
+        black_box(out);
+    }
+}
+
+/// Declares a named group of benchmark targets with a shared config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `main` running each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn group_runs_routines() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Bytes(1024));
+        let mut count = 0u64;
+        g.bench_function("counting", |b| b.iter(|| count += 1));
+        g.bench_function(BenchmarkId::from_parameter(4), |b| b.iter(|| count += 1));
+        g.finish();
+        assert!(count >= 10);
+    }
+
+    mod as_macro_user {
+        use super::super::Criterion;
+        use std::time::Duration;
+
+        fn target(c: &mut Criterion) {
+            c.benchmark_group("macro")
+                .bench_function("noop", |b| b.iter(|| 1 + 1));
+        }
+
+        criterion_group! {
+            name = benches;
+            config = Criterion::default()
+                .sample_size(2)
+                .measurement_time(Duration::from_millis(2))
+                .warm_up_time(Duration::from_millis(1));
+            targets = target
+        }
+
+        #[test]
+        fn group_macro_builds() {
+            benches();
+        }
+    }
+}

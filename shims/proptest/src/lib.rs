@@ -1,0 +1,456 @@
+//! A drop-in subset of the `proptest` API for hermetic builds.
+//!
+//! The workspace's property tests (`tests/proptest_invariants.rs`) use a
+//! modest slice of proptest: integer/bool `any`, integer ranges, `vec`
+//! collections, a simple character-class string strategy, `prop_map`,
+//! `prop_oneof!`, and the `proptest!`/`prop_assert*` macros. This shim
+//! implements exactly that slice with a deterministic SplitMix64 generator
+//! and **no shrinking**: a failing case panics with the generated inputs in
+//! the assertion message instead of minimizing them.
+//!
+//! Determinism: each `proptest!`-generated test derives its RNG seed from
+//! the test's name (overridable via `PROPTEST_SEED`), so failures reproduce
+//! exactly across runs and machines.
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type [`Strategy::Value`].
+    ///
+    /// Unlike real proptest there is no value tree and no shrinking; a
+    /// strategy simply produces a value from the deterministic RNG.
+    pub trait Strategy {
+        /// The type of values produced.
+        type Value;
+
+        /// Generates one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (used by [`prop_oneof!`]).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            (**self).gen_value(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// Uniform choice between type-erased alternatives ([`prop_oneof!`]).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over the given alternatives. Panics if `arms` is empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() % self.arms.len() as u64) as usize;
+            self.arms[i].gen_value(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    self.start + (rng.next_u64() as u128 % span) as $t
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u128) - (lo as u128) + 1;
+                    lo + (rng.next_u64() as u128 % span) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    /// `&'static str` regex-lite strategy: supports exactly the shape
+    /// `[class]{lo,hi}` with literal characters and `a-z` ranges in the
+    /// class. Anything else falls back to short alphanumeric strings.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            let (alphabet, lo, hi) = parse_class_repeat(self)
+                .unwrap_or_else(|| (('a'..='z').chain('0'..='9').collect::<Vec<char>>(), 0, 8));
+            let len = lo + (rng.next_u64() as usize % (hi - lo + 1));
+            (0..len)
+                .map(|_| alphabet[rng.next_u64() as usize % alphabet.len()])
+                .collect()
+        }
+    }
+
+    fn parse_class_repeat(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pat.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let class: Vec<char> = rest[..close].chars().collect();
+        let mut alphabet = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (a, b) = (class[i], class[i + 2]);
+                for c in a..=b {
+                    alphabet.push(c);
+                }
+                i += 3;
+            } else {
+                alphabet.push(class[i]);
+                i += 1;
+            }
+        }
+        let reps = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+        let (lo, hi) = reps.split_once(',')?;
+        let (lo, hi) = (lo.trim().parse().ok()?, hi.trim().parse().ok()?);
+        if alphabet.is_empty() || lo > hi {
+            return None;
+        }
+        Some((alphabet, lo, hi))
+    }
+
+    /// Strategy produced by [`crate::arbitrary::any`].
+    pub struct Any<T> {
+        _marker: core::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T> Default for Any<T> {
+        fn default() -> Any<T> {
+            Any {
+                _marker: core::marker::PhantomData,
+            }
+        }
+    }
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// `any::<T>()` and the [`Arbitrary`](arbitrary::Arbitrary) trait.
+pub mod arbitrary {
+    use crate::strategy::Any;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary {
+        /// Generates an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy generating any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any::default()
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Printable ASCII keeps generated data readable in panics.
+            (0x20u8 + (rng.next_u64() % 95) as u8) as char
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// A vector of values from `elem` with length in `len`.
+    pub fn vec<S: Strategy>(elem: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.len.end - self.len.start;
+            let n = self.len.start + rng.next_u64() as usize % span;
+            (0..n).map(|_| self.elem.gen_value(rng)).collect()
+        }
+    }
+}
+
+/// Test configuration and RNG.
+pub mod test_runner {
+    /// Per-test configuration. Only `cases` is meaningful in the shim.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic SplitMix64 generator.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// An RNG seeded from `tag` (the test name), or `PROPTEST_SEED`
+        /// when set, so every run of a given test sees the same cases.
+        pub fn deterministic(tag: &str) -> TestRng {
+            let seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| {
+                    tag.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+                    })
+                });
+            TestRng { state: seed | 1 }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// The glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)+) => { assert!($($args)+) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)+) => { assert_eq!($($args)+) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)+) => { assert_ne!($($args)+) };
+}
+
+/// Declares property tests: each `fn` runs `cases` times over generated
+/// inputs. Mirrors proptest's macro shape, including the optional
+/// `#![proptest_config(..)]` inner attribute.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr;
+     $($(#[$meta:meta])+
+       fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for _case in 0..cfg.cases {
+                    $(let $arg = $crate::strategy::Strategy::gen_value(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..1000 {
+            let v = (3u16..9).gen_value(&mut rng);
+            assert!((3..9).contains(&v));
+            let v = (0usize..5000).gen_value(&mut rng);
+            assert!(v < 5000);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_len() {
+        let mut rng = TestRng::deterministic("vecs");
+        for _ in 0..200 {
+            let v = crate::collection::vec(any::<u8>(), 1..40).gen_value(&mut rng);
+            assert!((1..40).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn string_strategy_honours_class() {
+        let mut rng = TestRng::deterministic("strings");
+        for _ in 0..200 {
+            let s = "[a-zA-Z0-9 ]{0,40}".gen_value(&mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let mut rng = TestRng::deterministic("oneof");
+        let strat = prop_oneof![(0u8..1).prop_map(|_| 'a'), (0u8..1).prop_map(|_| 'b')];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(strat.gen_value(&mut rng));
+        }
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_tag() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::deterministic("x");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::deterministic("x");
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_cases(x in 0u32..10, mut v in crate::collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!(x < 10);
+            v.push(0);
+            prop_assert!(!v.is_empty());
+        }
+    }
+}

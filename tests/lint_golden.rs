@@ -1,0 +1,236 @@
+//! Golden-diagnostic tests for `xk-lint`: every rule exercised against the
+//! *real* registry contracts (not the synthetic vocabulary the unit tests
+//! in `xkernel::lint` use), plus the checked-in specs under `specs/`.
+
+use xkernel::graph::GraphArgs;
+use xkernel::lint::{
+    rules, AddrKind, Diagnostic, LintOptions, ProtoContract, SemaContract, Severity,
+};
+use xkernel::prelude::*;
+use xkernel_repro::{default_externals, full_registry};
+
+fn lint(spec: &str) -> Vec<Diagnostic> {
+    full_registry().lint(spec, &default_externals(), &LintOptions::default())
+}
+
+fn has(diags: &[Diagnostic], rule: &str, severity: Severity, instance: &str) -> bool {
+    diags
+        .iter()
+        .any(|d| d.rule == rule && d.severity == severity && d.instance == instance)
+}
+
+const BASE: &str = "eth -> nic0\narp ip=10.0.0.1 -> eth\nip -> eth arp\n";
+
+#[test]
+fn xk001_parse_error() {
+    let d = lint("eth extra tokens no arrow\n");
+    let hit = d.iter().find(|d| d.rule == rules::PARSE).expect("XK001");
+    assert_eq!(hit.severity, Severity::Error);
+    assert_eq!(hit.line, 1);
+}
+
+#[test]
+fn xk002_unknown_ctor() {
+    let d = lint("mystery -> nic0\n");
+    assert!(
+        has(&d, rules::UNKNOWN_CTOR, Severity::Error, "mystery"),
+        "{d:?}"
+    );
+}
+
+#[test]
+fn xk003_forward_reference_breaks_bottom_up_wiring() {
+    // channel names fragment before fragment exists: the graph must be
+    // built bottom-up, so this can never instantiate.
+    let d = lint(&format!("{BASE}channel -> fragment\nfragment -> ip\n"));
+    assert!(
+        has(&d, rules::UNKNOWN_LOWER, Severity::Error, "channel"),
+        "{d:?}"
+    );
+}
+
+#[test]
+fn xk004_duplicate_instance() {
+    let d = lint(&format!("{BASE}udp -> ip\nudp -> ip\n"));
+    assert!(
+        has(&d, rules::DUPLICATE_INSTANCE, Severity::Error, "udp"),
+        "{d:?}"
+    );
+}
+
+#[test]
+fn xk005_arity_missing_and_dangling() {
+    // ip needs its resolver capability alongside the hardware one.
+    let d = lint("eth -> nic0\nip -> eth\n");
+    assert!(has(&d, rules::LOWER_ARITY, Severity::Error, "ip"), "{d:?}");
+    // udp takes exactly one lower; the second is dangling.
+    let d = lint(&format!("{BASE}icmp -> ip\nudp -> ip icmp\n"));
+    assert!(
+        has(&d, rules::LOWER_ARITY, Severity::Warning, "udp"),
+        "{d:?}"
+    );
+}
+
+#[test]
+fn xk006_address_kind_mismatch() {
+    // udp demuxes on internet addresses; eth offers hardware ones.
+    let d = lint("eth -> nic0\nudp -> eth\n");
+    assert!(has(&d, rules::ADDR_KIND, Severity::Error, "udp"), "{d:?}");
+}
+
+#[test]
+fn xk007_stable_participants_over_identity_virtualizer() {
+    // The acceptance case: tcp -> vip rejected citing the §5 rule.
+    let d = lint(&format!("{BASE}vip -> ip eth arp\ntcp -> vip\n"));
+    let hit = d
+        .iter()
+        .find(|d| d.rule == rules::STABLE_OVER_VIRTUAL)
+        .expect("XK007 fires");
+    assert_eq!(hit.severity, Severity::Error);
+    assert_eq!(hit.instance, "tcp");
+    assert!(
+        hit.message.contains("stable participant"),
+        "{}",
+        hit.message
+    );
+    assert!(hit.message.contains("vip"), "{}", hit.message);
+    // Same rule through an interposed passthrough layer: still caught.
+    let d = lint(&format!(
+        "{BASE}vip -> ip eth arp\nnl: null -> vip\ntcp -> nl\n"
+    ));
+    assert!(
+        has(&d, rules::STABLE_OVER_VIRTUAL, Severity::Error, "tcp"),
+        "{d:?}"
+    );
+}
+
+#[test]
+fn xk008_header_budget_warning_and_suppression() {
+    // 25 null layers x 4 bytes on top of eth+ip (34) = 134 > the 128-byte
+    // message headroom: every push re-allocates.
+    let mut spec = String::from(BASE);
+    let mut lower = "ip".to_string();
+    for i in 0..25 {
+        spec.push_str(&format!("n{i}: null -> {lower}\n"));
+        lower = format!("n{i}");
+    }
+    let d = lint(&spec);
+    assert!(
+        d.iter()
+            .any(|d| d.rule == rules::HEADER_BUDGET && d.severity == Severity::Warning),
+        "{d:?}"
+    );
+    // The in-spec directive silences it.
+    let d = lint(&format!("# xk-lint: allow=XK008\n{spec}"));
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn xk009_param_schema() {
+    // arp without its required ip= address.
+    let d = lint("eth -> nic0\narp -> eth\n");
+    assert!(
+        has(&d, rules::PARAM_SCHEMA, Severity::Error, "arp"),
+        "{d:?}"
+    );
+    // Unknown key: typo'd forward= on ip.
+    let d = lint("eth -> nic0\narp ip=10.0.0.1 -> eth\nip forwrad=1 -> eth arp\n");
+    assert!(
+        has(&d, rules::PARAM_SCHEMA, Severity::Warning, "ip"),
+        "{d:?}"
+    );
+}
+
+#[test]
+fn xk010_deadlocked_shepherd_is_an_error() {
+    // A layer that blocks a shepherd on a reply semaphore its demux never
+    // signals: the lock-order bug the paper's shepherd discipline forbids.
+    let mut reg = full_registry();
+    reg.add_contract(
+        ProtoContract::new("stuck", AddrKind::Rpc)
+            .lower(&[AddrKind::Internet])
+            .sema(SemaContract {
+                acquires_pool: false,
+                awaits_reply: true,
+                wakes_from_demux: false,
+            }),
+    );
+    reg.add("stuck", |_a: &GraphArgs<'_>| {
+        Err(XError::Config("lint-only constructor".into()))
+    });
+    let d = reg.lint(
+        &format!("{BASE}stuck -> ip\n"),
+        &default_externals(),
+        &LintOptions::default(),
+    );
+    let hit = d
+        .iter()
+        .find(|d| d.rule == rules::SEMA_DISCIPLINE && d.severity == Severity::Error)
+        .expect("XK010 error fires");
+    assert_eq!(hit.instance, "stuck");
+    assert!(hit.message.contains("deadlock"), "{}", hit.message);
+}
+
+#[test]
+fn xk010_nested_reply_waiters_warn() {
+    // request_reply already owns a reply wait; stacking it on tcp (which
+    // also blocks on its handshake/ack semaphores) nests two waiters.
+    let d = lint(&format!("{BASE}tcp -> ip\nrequest_reply -> tcp\n"));
+    let hit = d
+        .iter()
+        .find(|d| d.rule == rules::SEMA_DISCIPLINE && d.severity == Severity::Warning)
+        .expect("XK010 warning fires");
+    assert_eq!(hit.instance, "request_reply");
+    assert!(hit.message.contains("nested"), "{}", hit.message);
+}
+
+#[test]
+fn checked_in_specs_match_expectations() {
+    let reg = full_registry();
+    let externals = default_externals();
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("specs");
+    let read = |sub: &str| -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = std::fs::read_dir(dir.join(sub))
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|x| x == "xk"))
+            .map(|p| {
+                (
+                    p.display().to_string(),
+                    std::fs::read_to_string(&p).unwrap(),
+                )
+            })
+            .collect();
+        out.sort();
+        assert!(!out.is_empty(), "no .xk specs under specs/{sub}");
+        out
+    };
+    for (path, spec) in read("good") {
+        let d = reg.lint(&spec, &externals, &LintOptions::default());
+        assert!(d.is_empty(), "{path} should lint clean:\n{d:?}");
+    }
+    for (path, spec) in read("bad") {
+        let d = reg.lint(&spec, &externals, &LintOptions::default());
+        assert!(
+            d.iter().any(|d| d.severity == Severity::Error),
+            "{path} should produce at least one error"
+        );
+    }
+    // The bad specs name the rule they demonstrate in their comments.
+    let tcp = std::fs::read_to_string(dir.join("bad/tcp-over-vip.xk")).unwrap();
+    let d = reg.lint(&tcp, &externals, &LintOptions::default());
+    assert!(
+        d.iter().any(|d| d.rule == rules::STABLE_OVER_VIRTUAL),
+        "{d:?}"
+    );
+    let mis = std::fs::read_to_string(dir.join("bad/miswired.xk")).unwrap();
+    let d = reg.lint(&mis, &externals, &LintOptions::default());
+    for rule in [
+        rules::ADDR_KIND,
+        rules::UNKNOWN_LOWER,
+        rules::PARAM_SCHEMA,
+        rules::LOWER_ARITY,
+    ] {
+        assert!(d.iter().any(|d| d.rule == rule), "{rule} missing: {d:?}");
+    }
+}

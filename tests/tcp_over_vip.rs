@@ -28,6 +28,11 @@ fn registry() -> xkernel::graph::ProtocolRegistry {
 }
 
 /// Two hosts on a padding Ethernet running the standard graph plus `extra`.
+///
+/// Builds with `build_unchecked`: the TCP-over-VIP spec below is
+/// *deliberately* ill-formed — `xk-lint` rejects it statically (see
+/// `tcp_over_vip_is_rejected_statically`), and this rig exists to show the
+/// same composition also failing dynamically, the way the paper found it.
 fn padded_rig(extra: &str) -> (Sim, SimNet, Vec<Arc<Kernel>>) {
     let sim = Sim::new(SimConfig::scheduled());
     let net = SimNet::new(&sim);
@@ -42,10 +47,37 @@ fn padded_rig(extra: &str) -> (Sim, SimNet, Vec<Arc<Kernel>>) {
         net.attach(&k, lan, "nic0", EthAddr::from_index(i as u16 + 1))
             .unwrap();
         let spec = format!("{}{extra}", inet::standard_graph("nic0", ip));
-        reg.build(&sim, &k, &spec).unwrap();
+        reg.build_unchecked(&sim, &k, &spec).unwrap();
         kernels.push(k);
     }
     (sim, net, kernels)
+}
+
+#[test]
+fn tcp_over_vip_is_rejected_statically() {
+    // The linter catches the Section 5 composition error before anything
+    // runs: build() (which lints) refuses the spec padded_rig builds only
+    // via build_unchecked.
+    let sim = Sim::new(SimConfig::scheduled());
+    let net = SimNet::new(&sim);
+    let lan = net.add_lan(LanConfig::default());
+    let k = Kernel::new(&sim, "h");
+    net.attach(&k, lan, "nic0", EthAddr::from_index(1)).unwrap();
+    let spec = format!(
+        "{}vip -> ip eth arp\ntcp -> vip\n",
+        inet::standard_graph("nic0", "10.0.0.1")
+    );
+    let err = registry().build(&sim, &k, &spec).unwrap_err();
+    let XError::Lint(diags) = err else {
+        panic!("expected a lint rejection, got {err}");
+    };
+    let hit = diags
+        .iter()
+        .find(|d| d.rule == xkernel::lint::rules::STABLE_OVER_VIRTUAL)
+        .expect("XK007 cites the stable-participant rule");
+    assert_eq!(hit.severity, xkernel::lint::Severity::Error);
+    assert_eq!(hit.instance, "tcp");
+    assert!(hit.message.contains("stable participant"));
 }
 
 #[test]
