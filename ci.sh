@@ -17,6 +17,11 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> chaos soak (fixed seed set x all stacks)"
+# Already compiled by the workspace test run above; named separately so the
+# invariant suite visibly gates every PR even if the test layout changes.
+cargo test -p chaos -q
+
 echo "==> xk-lint: built-in paper stacks"
 XK_LINT=target/release/xk-lint
 "$XK_LINT" --builtin --warn-as-error

@@ -1,0 +1,672 @@
+//! Chaos harness: the paper's protocol configurations under adversity.
+//!
+//! The latency and throughput chapters of the paper run on a quiet,
+//! loss-free Ethernet; the *robustness* machinery (CHANNEL's at-most-once
+//! filtering, FRAGMENT's persistence, the adaptive retransmission timers,
+//! checksums, crash recovery) only executes when the wire misbehaves. This
+//! crate drives every full stack — the five RPC configurations of
+//! Tables I–II, Sun RPC with its authentication layers, the mixed
+//! SUN_SELECT-over-CHANNEL composition, and Psync conversations — under
+//! seeded, time-varying [`FaultSchedule`]s, and asserts the invariants that
+//! must survive:
+//!
+//! * **at-most-once** — a side-effecting procedure executes exactly once
+//!   per call on CHANNEL-based stacks, no matter how often the wire
+//!   duplicates or forces retransmission (REQUEST_REPLY is zero-or-more by
+//!   design and is held to `executed >= calls` instead);
+//! * **replies match requests** — every reply is the server's transform of
+//!   the request that was actually sent, byte for byte;
+//! * **corrupt frames never surface** — a flipped bit is caught by a
+//!   checksum (and retransmitted around), never delivered as payload;
+//! * **bounded completion** — under the bounded loss each profile injects,
+//!   every call completes within the retransmission budget and no process
+//!   is left blocked;
+//! * **determinism** — the same scenario and seed reproduce a bit-identical
+//!   [`RunReport`] and [`LanStats`], so any failure is replayable from two
+//!   integers.
+//!
+//! Faults are derived from the scenario seed by a local splitmix64 stream,
+//! *independent* of the simulation's own PRNG: the schedule a seed denotes
+//! never changes when a protocol consumes more or fewer random draws.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use inet::arp::Arp;
+use inet::testbed::{base_registry, lan_hosts, two_hosts, TwoHosts};
+use inet::with_concrete;
+use simnet::fault::{FaultPlan, FaultSchedule};
+use simnet::LanStats;
+use sunrpc::sunselect::SunSelect;
+use xkernel::prelude::*;
+use xkernel::sim::{RunReport, SimConfig};
+use xrpc::stacks::{StackDef, ALL_RPC_STACKS};
+
+/// Virtual-time gap between successive client calls, so a scenario's calls
+/// straddle the fault windows instead of finishing before the first opens.
+pub const CALL_GAP_NS: u64 = 12_000_000;
+
+/// Receive timeout for Psync conversations (they have no retransmission;
+/// a lossless profile must deliver within this bound).
+pub const PSYNC_RECV_TIMEOUT_NS: u64 = 3_000_000_000;
+
+const SUN_PROG: u32 = 100_099;
+const SUN_VERS: u32 = 1;
+const SUN_PROC: u32 = 7;
+const RPC_PROC: u16 = 7;
+
+/// Resolves `peer` from `host` on the still-quiet wire, before a fault
+/// schedule is installed. ARP's bootstrap budget (3 × 50 ms) is smaller
+/// than the delays some profiles inject, and a starved probe poisons the
+/// negative cache for ten virtual seconds — but address resolution is
+/// boot-time work, not the robustness machinery under test. ARP learns the
+/// requester's mapping opportunistically, so one resolve warms both
+/// directions. Nothing above VIP runs, so retransmission timers stay cold.
+pub fn warm_arp(sim: &Sim, host: HostId, peer: IpAddr) {
+    sim.spawn(host, move |ctx| {
+        let k = ctx.kernel();
+        with_concrete::<Arp, _>(&k, "arp", |a| a.resolve(ctx, peer))
+            .expect("arp registered")
+            .expect("warm-up resolve on the quiet wire");
+    });
+    assert_eq!(
+        sim.run_until_idle().blocked,
+        0,
+        "warm-up left a blocked process"
+    );
+}
+
+/// The splitmix64 step — the harness's local PRNG for deriving fault
+/// profiles and payloads from a scenario seed.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Reconstructs the self-describing payload body for `tag` at `len` bytes:
+/// the tag itself, then a splitmix64 stream seeded by it. Anyone holding
+/// the first eight bytes can verify the rest, which is how the harness
+/// detects a corrupt frame surfacing as data.
+pub fn body_from_tag(tag: u64, len: usize) -> Vec<u8> {
+    let len = len.max(8);
+    let mut v = tag.to_be_bytes().to_vec();
+    let mut s = tag;
+    while v.len() < len {
+        v.extend_from_slice(&splitmix64(&mut s).to_be_bytes());
+    }
+    v.truncate(len);
+    v
+}
+
+/// The request payload for call `call` of the scenario seeded `seed`.
+pub fn chaos_payload(seed: u64, call: u64) -> Vec<u8> {
+    let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ call;
+    let tag = splitmix64(&mut s);
+    let len = 16 + (splitmix64(&mut s) % 344) as usize;
+    body_from_tag(tag, len)
+}
+
+/// True when `data` is an intact chaos payload (no byte was flipped).
+pub fn payload_is_intact(data: &[u8]) -> bool {
+    if data.len() < 8 {
+        return false;
+    }
+    let tag = u64::from_be_bytes(data[..8].try_into().expect("8 bytes"));
+    data == body_from_tag(tag, data.len()).as_slice()
+}
+
+/// The server's transform of a request — distinct from the request, so an
+/// echo of the request by any buggy path cannot pass for a reply.
+pub fn expected_reply(req: &[u8]) -> Vec<u8> {
+    req.iter().map(|b| b.wrapping_add(1)).collect()
+}
+
+/// A named fault shape; concrete rates, window placements, and jitter
+/// magnitudes are derived from the scenario seed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Profile {
+    /// The quiet wire of the paper's measurement chapters.
+    FaultFree,
+    /// Uniform random loss (60–149 per mille).
+    Lossy,
+    /// Light base loss plus two heavy burst-loss windows.
+    Bursty,
+    /// No loss: heavy per-frame delay (60–179 ms) plus light duplication —
+    /// the shape that separates adaptive from fixed timeouts.
+    Jittery,
+    /// Healing directional partitions: client→server cut during
+    /// [30 ms, 110 ms), server→client during [180 ms, 240 ms).
+    Partitioned,
+    /// Loss + duplication + jitter + a burst window + (on checksummed
+    /// stacks) corruption, all at once.
+    Chaotic,
+}
+
+impl Profile {
+    /// Every profile, in escalation order.
+    pub const ALL: [Profile; 6] = [
+        Profile::FaultFree,
+        Profile::Lossy,
+        Profile::Bursty,
+        Profile::Jittery,
+        Profile::Partitioned,
+        Profile::Chaotic,
+    ];
+
+    /// Profiles that never drop a frame — the only ones a protocol without
+    /// retransmission (Psync) can be held to completion under.
+    pub fn is_lossless(self) -> bool {
+        matches!(self, Profile::FaultFree | Profile::Jittery)
+    }
+
+    /// Derives the concrete schedule for this profile from `seed`.
+    /// `client`/`server` are the two hosts' Ethernet addresses (for the
+    /// directional windows); `checksummed` gates corruption, which only a
+    /// stack with end-to-end checksums (IP/UDP on the path) may face.
+    pub fn schedule(
+        self,
+        seed: u64,
+        client: EthAddr,
+        server: EthAddr,
+        checksummed: bool,
+    ) -> FaultSchedule {
+        let mut s = seed ^ (self as u64).wrapping_mul(0x5851_f42d_4c95_7f2d);
+        let mut draw = |m: u64| splitmix64(&mut s) % m;
+        let sched = match self {
+            Profile::FaultFree => FaultSchedule::none(),
+            Profile::Lossy => FaultSchedule::from_plan(FaultPlan::lossy(60 + draw(90) as u32)),
+            Profile::Bursty => FaultSchedule::from_plan(FaultPlan::lossy(20))
+                .burst_loss(800 + draw(100) as u32, 20_000_000, 60_000_000)
+                .burst_loss(800 + draw(100) as u32, 150_000_000, 190_000_000),
+            Profile::Jittery => FaultSchedule::from_plan(FaultPlan {
+                dup_per_mille: 40,
+                jitter_ns: 60_000_000 + draw(120_000_000),
+                ..FaultPlan::default()
+            }),
+            Profile::Partitioned => FaultSchedule::none()
+                .partition(client, server, 30_000_000, 110_000_000)
+                .partition(server, client, 180_000_000, 240_000_000),
+            Profile::Chaotic => FaultSchedule::from_plan(FaultPlan {
+                drop_per_mille: 50 + draw(50) as u32,
+                dup_per_mille: 50,
+                corrupt_per_mille: if checksummed { 50 } else { 0 },
+                jitter_ns: 2_000_000,
+                ..FaultPlan::default()
+            })
+            .burst_loss(600, 50_000_000, 90_000_000),
+        };
+        sched.validate().expect("derived schedule is well-formed");
+        sched
+    }
+}
+
+/// Which composed stack a scenario drives.
+#[derive(Clone, Copy, Debug)]
+pub enum StackKind {
+    /// One of the paper's five full RPC configurations (Tables I–II, §4.3).
+    Paper(StackDef),
+    /// Classic Sun RPC: SUN_SELECT / AUTH_UNIX / REQUEST_REPLY / UDP —
+    /// zero-or-more semantics, IP+UDP checksums on the path.
+    SunRpcUdp,
+    /// The §5 mix: SUN_SELECT over CHANNEL–FRAGMENT–VIP — Sun RPC's
+    /// selection with Sprite's at-most-once transaction layer.
+    SunRpcChannel,
+    /// A two-party Psync conversation (no retransmission layer).
+    Psync,
+}
+
+impl StackKind {
+    /// Every paper RPC stack, wrapped for scenarios.
+    pub fn all_paper() -> Vec<StackKind> {
+        ALL_RPC_STACKS
+            .iter()
+            .copied()
+            .map(StackKind::Paper)
+            .collect()
+    }
+
+    /// The scenario's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StackKind::Paper(s) => s.name,
+            StackKind::SunRpcUdp => "SUNRPC-UDP",
+            StackKind::SunRpcChannel => "SUNRPC-CHANNEL",
+            StackKind::Psync => "PSYNC",
+        }
+    }
+
+    /// True when the transaction layer guarantees at-most-once execution.
+    pub fn at_most_once(&self) -> bool {
+        !matches!(self, StackKind::SunRpcUdp)
+    }
+
+    /// True when every data frame crosses an end-to-end checksum (IP or
+    /// UDP), so corruption faults are survivable. VIP stacks take the raw
+    /// Ethernet path between local peers and carry no checksum.
+    pub fn checksummed(&self) -> bool {
+        match self {
+            StackKind::Paper(s) => s.name == "M_RPC-IP",
+            StackKind::SunRpcUdp => true,
+            StackKind::SunRpcChannel | StackKind::Psync => false,
+        }
+    }
+
+    /// The profiles this stack can be held to bounded completion under.
+    /// Psync has no retransmission, so only lossless profiles apply;
+    /// REQUEST_REPLY's six-retry budget is too small to ride out the
+    /// 80 ms partition window.
+    pub fn profiles(&self) -> &'static [Profile] {
+        match self {
+            StackKind::Paper(_) | StackKind::SunRpcChannel => &Profile::ALL,
+            StackKind::SunRpcUdp => &[
+                Profile::FaultFree,
+                Profile::Lossy,
+                Profile::Bursty,
+                Profile::Jittery,
+                Profile::Chaotic,
+            ],
+            StackKind::Psync => &[Profile::FaultFree, Profile::Jittery],
+        }
+    }
+}
+
+/// One reproducible run: a stack, a fault shape, a seed, a call count.
+#[derive(Clone, Copy, Debug)]
+pub struct Scenario {
+    /// The composed stack under test.
+    pub stack: StackKind,
+    /// The fault shape.
+    pub profile: Profile,
+    /// Seeds both the simulation PRNG and the fault/payload derivation.
+    pub seed: u64,
+    /// Number of sequential client calls (Psync: conversation rounds).
+    pub calls: u32,
+}
+
+/// Everything observable about one scenario run. Derives `Eq` so the
+/// determinism invariant is "two runs, one assert".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// `stack/profile/seed`, for assertion messages.
+    pub label: String,
+    /// The simulator's verdict (virtual end time, event count, blocked
+    /// processes, per-host robustness counters).
+    pub run: RunReport,
+    /// Wire counters for the scenario's LAN.
+    pub lan: LanStats,
+    /// Calls the client issued.
+    pub attempted: u32,
+    /// Calls that returned the exact expected reply.
+    pub completed: u32,
+    /// Calls that returned a wrong-byte reply (must stay 0).
+    pub mismatched: u32,
+    /// Calls that errored (timeout etc.; must stay 0 under these profiles).
+    pub failed: u32,
+    /// Times the server-side procedure actually executed.
+    pub executed: u32,
+    /// Requests the server saw whose payload failed self-verification —
+    /// a corrupt frame surfacing as data (must stay 0).
+    pub garbage: u32,
+}
+
+/// Mutable counters shared between the client/server closures and the
+/// report assembly.
+#[derive(Default)]
+struct Tally {
+    completed: u32,
+    mismatched: u32,
+    failed: u32,
+    executed: u32,
+    garbage: u32,
+}
+
+impl Scenario {
+    fn label(&self) -> String {
+        format!(
+            "{}/{:?}/seed={}",
+            self.stack.name(),
+            self.profile,
+            self.seed
+        )
+    }
+
+    /// Runs the scenario to completion and returns the report. Use
+    /// [`Scenario::run_checked`] to also assert the invariants.
+    pub fn run(&self) -> ChaosReport {
+        match self.stack {
+            StackKind::Paper(def) => self.run_rpc(RpcFlavor::Paper(def)),
+            StackKind::SunRpcUdp => self.run_rpc(RpcFlavor::SunRpc(
+                "request_reply -> udp\n\
+                 auth: auth_unix uid=1000 machine=sun3 allow=1000 -> request_reply\n\
+                 sunselect -> auth\n",
+            )),
+            StackKind::SunRpcChannel => self.run_rpc(RpcFlavor::SunRpc(
+                "vip -> ip eth arp\n\
+                 fragment -> vip\n\
+                 channel -> fragment\n\
+                 sunselect -> channel\n",
+            )),
+            StackKind::Psync => self.run_psync(),
+        }
+    }
+
+    /// Runs the scenario and asserts every invariant that applies to it.
+    pub fn run_checked(&self) -> ChaosReport {
+        let r = self.run();
+        self.check(&r);
+        r
+    }
+
+    /// Asserts the harness invariants against a report from this scenario.
+    pub fn check(&self, r: &ChaosReport) {
+        assert_eq!(r.run.blocked, 0, "{}: processes left blocked", r.label);
+        assert_eq!(
+            r.garbage, 0,
+            "{}: corrupt payload reached a server",
+            r.label
+        );
+        assert_eq!(r.mismatched, 0, "{}: reply did not match request", r.label);
+        assert_eq!(
+            (r.failed, r.completed),
+            (0, r.attempted),
+            "{}: bounded completion violated ({} of {} calls)",
+            r.label,
+            r.completed,
+            r.attempted
+        );
+        if self.stack.at_most_once() {
+            assert_eq!(
+                r.executed, r.attempted,
+                "{}: at-most-once violated",
+                r.label
+            );
+        } else {
+            assert!(
+                r.executed >= r.completed,
+                "{}: zero-or-more executed fewer times than it completed",
+                r.label
+            );
+        }
+    }
+
+    fn two_host_rig(&self, extra_graph: &str) -> TwoHosts {
+        let mut reg = base_registry();
+        xrpc::register_ctors(&mut reg);
+        sunrpc::register_ctors(&mut reg);
+        two_hosts(
+            SimConfig::scheduled().with_seed(self.seed),
+            &reg,
+            extra_graph,
+        )
+        .expect("chaos testbed builds")
+    }
+
+    fn install_schedule(&self, tb: &TwoHosts) {
+        let sched = self.profile.schedule(
+            self.seed,
+            EthAddr::from_index(1),
+            EthAddr::from_index(2),
+            self.stack.checksummed(),
+        );
+        tb.net.set_fault_schedule(tb.lan, sched);
+    }
+
+    fn run_rpc(&self, flavor: RpcFlavor) -> ChaosReport {
+        let graph = match flavor {
+            RpcFlavor::Paper(def) => def.graph,
+            RpcFlavor::SunRpc(g) => g,
+        };
+        let tb = self.two_host_rig(graph);
+        let tally = Arc::new(Mutex::new(Tally::default()));
+
+        // Server: a side-effecting procedure that verifies the request's
+        // integrity and replies with its transform.
+        let t2 = Arc::clone(&tally);
+        let handler = move |_ctx: &Ctx, msg: Message| {
+            let req = msg.to_vec();
+            let mut t = t2.lock();
+            t.executed += 1;
+            if !payload_is_intact(&req) {
+                t.garbage += 1;
+            }
+            drop(t);
+            Ok(Message::from_user(expected_reply(&req)))
+        };
+        match flavor {
+            RpcFlavor::Paper(def) => {
+                xrpc::serve(&tb.server, def.entry, RPC_PROC, handler).expect("serve")
+            }
+            RpcFlavor::SunRpc(_) => {
+                with_concrete::<SunSelect, _>(&tb.server, "sunselect", move |s| {
+                    s.serve(SUN_PROG, SUN_VERS, SUN_PROC, handler)
+                })
+                .expect("sunselect registered")
+            }
+        }
+
+        warm_arp(&tb.sim, tb.client.host(), tb.server_ip);
+        self.install_schedule(&tb);
+
+        // Client: sequential calls spaced over the fault windows.
+        let (seed, calls) = (self.seed, self.calls);
+        let server_ip = tb.server_ip;
+        let t3 = Arc::clone(&tally);
+        tb.sim.spawn(tb.client.host(), move |ctx| {
+            for i in 0..calls {
+                let req = chaos_payload(seed, u64::from(i));
+                let want = expected_reply(&req);
+                let got = match flavor {
+                    RpcFlavor::Paper(def) => {
+                        let k = ctx.kernel();
+                        xrpc::call(ctx, &k, def.entry, server_ip, RPC_PROC, req)
+                    }
+                    RpcFlavor::SunRpc(_) => {
+                        with_concrete::<SunSelect, _>(&ctx.kernel(), "sunselect", |s| {
+                            s.call(ctx, server_ip, SUN_PROG, SUN_VERS, SUN_PROC, req)
+                        })
+                        .expect("sunselect registered")
+                    }
+                };
+                let mut t = t3.lock();
+                match got {
+                    Ok(r) if r == want => t.completed += 1,
+                    Ok(_) => t.mismatched += 1,
+                    Err(_) => t.failed += 1,
+                }
+                drop(t);
+                ctx.sleep(CALL_GAP_NS);
+            }
+        });
+        let run = tb.sim.run_until_idle();
+        self.report(run, tb.net.stats(tb.lan), &tally)
+    }
+
+    fn run_psync(&self) -> ChaosReport {
+        assert!(
+            self.profile.is_lossless(),
+            "{}: psync has no retransmission; only lossless profiles apply",
+            self.label()
+        );
+        let mut reg = base_registry();
+        xrpc::register_ctors(&mut reg);
+        psync::register_ctors(&mut reg);
+        let rig = lan_hosts(
+            SimConfig::scheduled().with_seed(self.seed),
+            &reg,
+            "vip -> ip eth arp\npsync -> vip\n",
+            2,
+        )
+        .expect("psync testbed builds");
+        let (a_ip, b_ip) = (rig.ip_of(0), rig.ip_of(1));
+        let open = |host: usize, peer: IpAddr| {
+            let ctx = rig.sim.ctx(rig.kernels[host].host());
+            with_concrete::<psync::Psync, _>(&rig.kernels[host], "psync", |p| {
+                p.open_conv(&ctx, 1, vec![peer])
+            })
+            .expect("psync conversation opens")
+        };
+        let conv_a = open(0, b_ip);
+        let conv_b = open(1, a_ip);
+
+        warm_arp(&rig.sim, rig.kernels[0].host(), b_ip);
+        let sched = self.profile.schedule(
+            self.seed,
+            EthAddr::from_index(1),
+            EthAddr::from_index(2),
+            false,
+        );
+        rig.net.set_fault_schedule(rig.lan, sched);
+
+        let tally = Arc::new(Mutex::new(Tally::default()));
+        let (seed, rounds) = (self.seed, self.calls);
+
+        // Side A: send a round, await its transform.
+        let ta = Arc::clone(&tally);
+        let ha = rig.kernels[0].host();
+        rig.sim.spawn(ha, move |ctx| {
+            for i in 0..rounds {
+                let req = chaos_payload(seed, u64::from(i));
+                let want = expected_reply(&req);
+                if conv_a.send(ctx, req).is_err() {
+                    ta.lock().failed += 1;
+                    continue;
+                }
+                // Receive *before* taking the tally lock: receive blocks in
+                // the scheduler, and side B needs the lock to make progress.
+                let got = conv_a.receive(ctx, PSYNC_RECV_TIMEOUT_NS);
+                let mut t = ta.lock();
+                match got {
+                    Ok(m) if m.data == want => t.completed += 1,
+                    Ok(_) => t.mismatched += 1,
+                    Err(_) => t.failed += 1,
+                }
+            }
+        });
+
+        // Side B: receive each round, verify, reply in its context.
+        let tb2 = Arc::clone(&tally);
+        let hb = rig.kernels[1].host();
+        rig.sim.spawn(hb, move |ctx| {
+            for _ in 0..rounds {
+                let m = match conv_b.receive(ctx, PSYNC_RECV_TIMEOUT_NS) {
+                    Ok(m) => m,
+                    Err(_) => return,
+                };
+                let mut t = tb2.lock();
+                t.executed += 1;
+                if !payload_is_intact(&m.data) {
+                    t.garbage += 1;
+                }
+                drop(t);
+                let _ = conv_b.send(ctx, expected_reply(&m.data));
+            }
+        });
+
+        let run = rig.sim.run_until_idle();
+        self.report(run, rig.net.stats(rig.lan), &tally)
+    }
+
+    fn report(&self, run: RunReport, lan: LanStats, tally: &Mutex<Tally>) -> ChaosReport {
+        let t = tally.lock();
+        ChaosReport {
+            label: self.label(),
+            run,
+            lan,
+            attempted: self.calls,
+            completed: t.completed,
+            mismatched: t.mismatched,
+            failed: t.failed,
+            executed: t.executed,
+            garbage: t.garbage,
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum RpcFlavor {
+    Paper(StackDef),
+    SunRpc(&'static str),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payloads_are_self_verifying_and_flips_are_caught() {
+        for i in 0..10 {
+            let p = chaos_payload(42, i);
+            assert!(p.len() >= 16);
+            assert!(payload_is_intact(&p));
+            let mut bad = p.clone();
+            bad[p.len() / 2] ^= 0x20;
+            assert!(!payload_is_intact(&bad), "flip must be detectable");
+        }
+    }
+
+    #[test]
+    fn payloads_differ_across_calls_and_seeds() {
+        assert_ne!(chaos_payload(1, 0), chaos_payload(1, 1));
+        assert_ne!(chaos_payload(1, 0), chaos_payload(2, 0));
+        // And are reproducible.
+        assert_eq!(chaos_payload(7, 3), chaos_payload(7, 3));
+    }
+
+    #[test]
+    fn profile_derivation_is_deterministic_and_valid() {
+        let a = EthAddr::from_index(1);
+        let b = EthAddr::from_index(2);
+        for p in Profile::ALL {
+            for seed in [0u64, 1, 0xdead_beef] {
+                let s1 = p.schedule(seed, a, b, true);
+                let s2 = p.schedule(seed, a, b, true);
+                assert!(s1.validate().is_ok());
+                assert_eq!(s1.windows, s2.windows, "{p:?} windows reproducible");
+                assert_eq!(
+                    (
+                        s1.base.drop_per_mille,
+                        s1.base.dup_per_mille,
+                        s1.base.corrupt_per_mille,
+                        s1.base.jitter_ns
+                    ),
+                    (
+                        s2.base.drop_per_mille,
+                        s2.base.dup_per_mille,
+                        s2.base.corrupt_per_mille,
+                        s2.base.jitter_ns
+                    ),
+                    "{p:?} rates reproducible"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_is_gated_on_checksummed_stacks() {
+        let a = EthAddr::from_index(1);
+        let b = EthAddr::from_index(2);
+        let with = Profile::Chaotic.schedule(9, a, b, true);
+        let without = Profile::Chaotic.schedule(9, a, b, false);
+        assert!(with.base.corrupt_per_mille > 0);
+        assert_eq!(without.base.corrupt_per_mille, 0);
+    }
+
+    #[test]
+    fn fault_free_scenario_completes_on_the_layered_stack() {
+        let sc = Scenario {
+            stack: StackKind::Paper(xrpc::stacks::L_RPC_VIP),
+            profile: Profile::FaultFree,
+            seed: 1,
+            calls: 3,
+        };
+        let r = sc.run_checked();
+        assert_eq!(r.completed, 3);
+        assert_eq!(r.executed, 3);
+        let client = r.run.hosts[0];
+        assert_eq!(client.retransmits, 0, "quiet wire: no retransmissions");
+    }
+}

@@ -21,7 +21,7 @@
 
 use std::any::Any;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, Weak};
 
 use parking_lot::Mutex;
@@ -31,6 +31,7 @@ use xkernel::sim::Nanos;
 
 use crate::hdr::{flags, ChannelHdr, CHANNEL_HDR_LEN};
 use crate::protnum::{peer_key, rel_proto_num, PeerKey};
+use crate::rto::{backoff_rto, RtoEstimator};
 
 /// Tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -41,6 +42,13 @@ pub struct ChanConfig {
     pub per_frag_ns: Nanos,
     /// Retransmissions before giving up.
     pub max_retries: u32,
+    /// Adaptive SRTT/RTTVAR retransmission timeout (see [`crate::rto`]).
+    /// When false, the paper's fixed step function times every attempt.
+    pub adaptive: bool,
+    /// Floor for the adaptive RTO.
+    pub min_rto_ns: Nanos,
+    /// Ceiling for the adaptive RTO (also caps exponential backoff).
+    pub max_rto_ns: Nanos,
 }
 
 impl Default for ChanConfig {
@@ -49,6 +57,9 @@ impl Default for ChanConfig {
             base_timeout_ns: 100_000_000,
             per_frag_ns: 25_000_000,
             max_retries: 8,
+            adaptive: true,
+            min_rto_ns: 1_000_000,
+            max_rto_ns: 10_000_000_000,
         }
     }
 }
@@ -61,10 +72,12 @@ struct Outstanding {
     sent_at: u64,
 }
 
-/// Run-time-tunable knobs (the `SetTimeout` control op).
+/// Run-time-tunable knobs (the `SetTimeout` / `SetBackoff` control ops).
 struct Tunables {
     base_timeout_ns: AtomicU64,
     peer_boot: AtomicU32,
+    adaptive: AtomicBool,
+    max_backoff: AtomicU32,
 }
 
 struct ClientState {
@@ -83,15 +96,18 @@ pub struct ChanClientSession {
 }
 
 impl ChanClientSession {
-    fn step_timeout(&self, ctx: &Ctx, wire_len: usize) -> Nanos {
-        let cfg = &self.parent.cfg;
-        let base = self.parent.tunables.base_timeout_ns.load(Ordering::Relaxed);
+    /// The size-dependent component of the paper's step function: extra
+    /// wait for each additional fragment the layer below must move. RTT
+    /// samples are taken on whatever traffic runs first, so the adaptive
+    /// RTO keeps this allowance too — a warm estimate from small exchanges
+    /// must not time a multi-fragment transfer.
+    fn frag_allowance(&self, ctx: &Ctx, wire_len: usize) -> Nanos {
         let frags = self
             .lower
             .control(ctx, &ControlOp::GetFragCount(wire_len))
             .and_then(|r| r.size())
             .unwrap_or(1);
-        base + cfg.per_frag_ns * (frags.saturating_sub(1) as u64)
+        self.parent.cfg.per_frag_ns * (frags.saturating_sub(1) as u64)
     }
 }
 
@@ -130,13 +146,49 @@ impl Session for ChanClientSession {
             error: 0,
             boot_id,
         };
-        let timeout = self.step_timeout(ctx, msg.len() + CHANNEL_HDR_LEN);
+        let extra = self.frag_allowance(ctx, msg.len() + CHANNEL_HDR_LEN);
+        let step = self.parent.tunables.base_timeout_ns.load(Ordering::Relaxed) + extra;
+        let adaptive = self.parent.tunables.adaptive.load(Ordering::Relaxed);
+        let max_backoff = self.parent.tunables.max_backoff.load(Ordering::Relaxed);
         let mut attempts = 0u32;
         loop {
+            let timeout = if adaptive {
+                // The step function seeds the estimator's cold state, so
+                // attempt 0 of a fresh conversation waits exactly as long
+                // as the paper's fixed scheme; once samples arrive the RTO
+                // tracks measured RTT (plus the per-fragment allowance).
+                // Retries back off exponentially with jitter (drawn only
+                // here, keeping fault-free runs on the same PRNG stream as
+                // the fixed scheme).
+                let base = {
+                    let e = self.parent.estimator.lock();
+                    if e.is_cold() {
+                        step
+                    } else {
+                        e.rto() + extra
+                    }
+                };
+                let jitter = if attempts > 0 { ctx.next_u64() } else { 0 };
+                backoff_rto(
+                    base,
+                    attempts,
+                    max_backoff,
+                    self.parent.cfg.max_rto_ns,
+                    jitter,
+                )
+            } else {
+                step
+            };
             let mut wire = msg.clone();
             ctx.push_header(&mut wire, &hdr.encode());
             ctx.charge_layer_call();
-            self.lower.push(ctx, wire)?;
+            if let Err(e) = self.lower.push(ctx, wire) {
+                // A synchronous lower-layer failure (e.g. ARP could not
+                // resolve the peer) must not leave the channel poisoned
+                // with a forever-outstanding request.
+                self.st.lock().outstanding = None;
+                return Err(e);
+            }
 
             // Wait for the reply; an explicit ACK re-arms the wait without
             // counting as a retransmission round.
@@ -164,7 +216,12 @@ impl Session for ChanClientSession {
             };
             match outcome {
                 Some((Ok(reply), sent_at)) => {
-                    self.parent.observe_rtt(ctx.now().saturating_sub(sent_at));
+                    // Karn's rule: a reply that followed a retransmission
+                    // cannot be attributed to a particular send, so only
+                    // clean exchanges feed the estimator.
+                    if attempts == 0 {
+                        self.parent.observe_rtt(ctx.now().saturating_sub(sent_at));
+                    }
                     return Ok(Some(reply));
                 }
                 Some((Err(code), _)) => {
@@ -173,7 +230,7 @@ impl Session for ChanClientSession {
                         self.chan
                     )))
                 }
-                None => {}
+                None => ctx.note(RobustEvent::TimeoutFired),
             }
             attempts += 1;
             if attempts > self.parent.cfg.max_retries || ctx.mode() == Mode::Inline {
@@ -185,6 +242,7 @@ impl Session for ChanClientSession {
             }
             // Retransmission: ask for an explicit ack so a busy server can
             // quiet us down.
+            ctx.note(RobustEvent::Retransmit);
             hdr.flags = flags::REQUEST | flags::PLEASE_ACK;
         }
     }
@@ -202,6 +260,13 @@ impl Session for ChanClientSession {
                     .tunables
                     .base_timeout_ns
                     .store(*ns, Ordering::Relaxed);
+                Ok(ControlRes::Done)
+            }
+            ControlOp::SetBackoff(n) => {
+                self.parent
+                    .tunables
+                    .max_backoff
+                    .store(*n, Ordering::Relaxed);
                 Ok(ControlRes::Done)
             }
             other => self.lower.control(ctx, other),
@@ -292,7 +357,7 @@ pub struct Channel {
     lower_name: OnceLock<&'static str>,
     boot: Mutex<u32>,
     next_chan: Mutex<u16>,
-    rtt_ewma: Mutex<u64>,
+    estimator: Mutex<RtoEstimator>,
     enables: Mutex<HashMap<u32, ProtoId>>,
     clients: Mutex<HashMap<(u16, u32), Arc<ChanClientSession>>>,
     servers: Mutex<HashMap<(PeerKey, u16, u32), Arc<ChanServerSession>>>,
@@ -309,12 +374,18 @@ impl Channel {
             tunables: Tunables {
                 base_timeout_ns: AtomicU64::new(cfg.base_timeout_ns),
                 peer_boot: AtomicU32::new(0),
+                adaptive: AtomicBool::new(cfg.adaptive),
+                max_backoff: AtomicU32::new(6),
             },
             cfg,
             lower_name: OnceLock::new(),
             boot: Mutex::new(0),
             next_chan: Mutex::new(0),
-            rtt_ewma: Mutex::new(0),
+            estimator: Mutex::new(RtoEstimator::new(
+                cfg.base_timeout_ns,
+                cfg.min_rto_ns,
+                cfg.max_rto_ns,
+            )),
             enables: Mutex::new(HashMap::new()),
             clients: Mutex::new(HashMap::new()),
             servers: Mutex::new(HashMap::new()),
@@ -343,17 +414,23 @@ impl Channel {
     }
 
     fn observe_rtt(&self, sample: u64) {
-        let mut e = self.rtt_ewma.lock();
-        *e = if *e == 0 {
-            sample
-        } else {
-            (*e * 7 + sample) / 8
-        };
+        self.estimator.lock().observe(sample);
     }
 
     /// Smoothed round-trip estimate (virtual ns; 0 until the first reply).
     pub fn rtt_estimate(&self) -> u64 {
-        *self.rtt_ewma.lock()
+        let e = self.estimator.lock();
+        if e.is_cold() {
+            0
+        } else {
+            e.srtt()
+        }
+    }
+
+    /// Switches between the adaptive RTO and the paper's fixed step
+    /// function at run time (chaos experiments compare the two).
+    pub fn set_adaptive(&self, on: bool) {
+        self.tunables.adaptive.store(on, Ordering::Relaxed);
     }
 
     fn request_in(
@@ -438,8 +515,12 @@ impl Channel {
         };
 
         match action {
-            Action::Drop => Ok(()),
+            Action::Drop => {
+                ctx.note(RobustEvent::DuplicateSuppressed);
+                Ok(())
+            }
             Action::Ack => {
+                ctx.note(RobustEvent::DuplicateSuppressed);
                 let ack = ChannelHdr {
                     flags: flags::ACK,
                     channel: hdr.channel,
@@ -455,6 +536,7 @@ impl Channel {
                 Ok(())
             }
             Action::ResendReply(saved) => {
+                ctx.note(RobustEvent::DuplicateSuppressed);
                 ctx.charge_layer_call();
                 lls.push(ctx, saved)?;
                 Ok(())
@@ -502,6 +584,24 @@ impl Channel {
             });
             return Ok(());
         };
+        // Peer reincarnation check, *before* taking this client's state
+        // lock (the reset below locks the map and then each session; no
+        // path may hold a session lock while acquiring the map's).
+        let prev = self.tunables.peer_boot.swap(hdr.boot_id, Ordering::Relaxed);
+        if prev != 0 && prev != hdr.boot_id {
+            ctx.trace("channel", || {
+                format!("peer rebooted (boot {prev:#x} -> {:#x})", hdr.boot_id)
+            });
+            // Sequence numbers and RTT history from the old incarnation
+            // are meaningless; reset every channel not mid-exchange.
+            for c in self.clients.lock().values() {
+                let mut cst = c.st.lock();
+                if cst.outstanding.is_none() {
+                    cst.seq = 0;
+                }
+            }
+            self.estimator.lock().reset(self.cfg.base_timeout_ns);
+        }
         let mut st = client.st.lock();
         let Some(out) = st.outstanding.as_mut() else {
             return Ok(()); // Late duplicate; already satisfied.
@@ -509,9 +609,6 @@ impl Channel {
         if out.seq != hdr.sequence_num {
             return Ok(()); // Stale sequence number.
         }
-        self.tunables
-            .peer_boot
-            .store(hdr.boot_id, Ordering::Relaxed);
         if hdr.flags & flags::ACK != 0 {
             out.acked = true;
             let sema = out.sema.clone();
@@ -556,6 +653,20 @@ impl Protocol for Channel {
         let parts =
             ParticipantSet::local(Participant::proto(rel_proto_num(lower.name(), "channel")?));
         kernel.open_enable(ctx, self.lower, self.me, &parts)
+    }
+
+    fn reboot(&self, ctx: &Ctx) -> XResult<()> {
+        // Fresh incarnation: a new boot id and no surviving channels; the
+        // graph wiring (enables, lower binding) persists from build time.
+        *self.boot.lock() = (ctx.next_u64() & 0xffff_ffff) as u32 | 1;
+        self.clients.lock().clear();
+        self.servers.lock().clear();
+        self.tunables.peer_boot.store(0, Ordering::Relaxed);
+        self.tunables
+            .base_timeout_ns
+            .store(self.cfg.base_timeout_ns, Ordering::Relaxed);
+        self.estimator.lock().reset(self.cfg.base_timeout_ns);
+        Ok(())
     }
 
     fn open(&self, ctx: &Ctx, _upper: ProtoId, parts: &ParticipantSet) -> XResult<SessionRef> {

@@ -43,6 +43,7 @@ pub fn channel() -> ProtoContract {
         .lower(&[AddrKind::Internet])
         .header(CHANNEL_HDR_LEN)
         .demux_key_bits(32)
+        .param("adaptive", false, true)
         .sema(SemaContract {
             acquires_pool: false,
             awaits_reply: true,

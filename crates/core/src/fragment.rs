@@ -568,6 +568,18 @@ impl Protocol for Fragment {
         kernel.open_enable(ctx, self.lower, self.me, &parts)
     }
 
+    fn reboot(&self, _ctx: &Ctx) -> XResult<()> {
+        // Drop volatile state: the send cache (peers must not NACK-recover
+        // messages from the previous incarnation), partial reassemblies,
+        // and cached sessions. `next_seq` is deliberately kept — reusing
+        // message ids could collide with stale partials on peers.
+        self.send_cache.lock().clear();
+        self.rasm.lock().clear();
+        self.passive.lock().clear();
+        self.lowers.lock().clear();
+        Ok(())
+    }
+
     fn open(&self, ctx: &Ctx, _upper: ProtoId, parts: &ParticipantSet) -> XResult<SessionRef> {
         let proto_num = parts
             .local_part()

@@ -80,6 +80,7 @@ pub mod hdr;
 pub mod mrpc;
 pub mod pinger;
 pub mod protnum;
+pub mod rto;
 pub mod select;
 pub mod stacks;
 pub mod vip;
@@ -127,7 +128,11 @@ pub fn register_ctors(reg: &mut ProtocolRegistry) {
         )
     });
     reg.add("channel", |a: &GraphArgs<'_>| {
-        Ok(channel::Channel::new(a.me, a.down(0)?, channel::ChanConfig::default()) as ProtocolRef)
+        let cfg = channel::ChanConfig {
+            adaptive: a.param_u64("adaptive", 1)? != 0,
+            ..channel::ChanConfig::default()
+        };
+        Ok(channel::Channel::new(a.me, a.down(0)?, cfg) as ProtocolRef)
     });
     reg.add("select", |a: &GraphArgs<'_>| {
         let cfg = select::SelectConfig {

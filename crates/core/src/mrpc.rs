@@ -363,7 +363,13 @@ impl Mrpc {
         let mut attempts = 0u32;
         let mut send_mask = full_mask(num_frags);
         loop {
-            self.send_frags(ctx, lower, frag_size, &hdr, &args, send_mask)?;
+            if let Err(e) = self.send_frags(ctx, lower, frag_size, &hdr, &args, send_mask) {
+                // A synchronous send failure must clear the outstanding
+                // slot: the channel goes back to the pool on return, and
+                // the next caller asserts it is clean.
+                chan.st.lock().out = None;
+                return Err(e);
+            }
             let outcome = loop {
                 let _ = sema.p_timeout(ctx, timeout);
                 let mut st = chan.st.lock();
@@ -388,6 +394,7 @@ impl Mrpc {
             if let Some(reply) = outcome {
                 return Ok(reply);
             }
+            ctx.note(RobustEvent::TimeoutFired);
             attempts += 1;
             if attempts > self.cfg.max_retries || ctx.mode() == Mode::Inline {
                 chan.st.lock().out = None;
@@ -395,6 +402,7 @@ impl Mrpc {
                     "sprite rpc {command} seq {seq} to {peer} after {attempts} attempts"
                 )));
             }
+            ctx.note(RobustEvent::Retransmit);
             hdr.flags = flags::REQUEST | flags::PLEASE_ACK;
         }
     }
@@ -445,12 +453,14 @@ impl Mrpc {
                 // of the retransmitted request, else every late duplicate
                 // fragment of a multi-fragment request would trigger its own
                 // full reply resend (a retransmission storm).
+                ctx.note(RobustEvent::DuplicateSuppressed);
                 if hdr.frag_mask & 1 != 0 {
                     Action::ResendReply(st.saved_reply.clone())
                 } else {
                     Action::None
                 }
             } else if hdr.sequence_num <= st.last_seq && st.last_seq != 0 {
+                ctx.note(RobustEvent::DuplicateSuppressed);
                 Action::None // Ancient duplicate.
             } else {
                 if st.in_progress != Some(hdr.sequence_num) {
@@ -682,6 +692,18 @@ impl Protocol for Mrpc {
         let parts =
             ParticipantSet::local(Participant::proto(rel_proto_num(lower.name(), "sprite")?));
         kernel.open_enable(ctx, self.lower, self.me, &parts)
+    }
+
+    fn reboot(&self, ctx: &Ctx) -> XResult<()> {
+        // Fresh incarnation: new boot id, all channel/session state gone.
+        // Registered procedures and graph wiring survive.
+        *self.boot.lock() = (ctx.next_u64() & 0xffff_ffff) as u32 | 1;
+        self.pools.lock().clear();
+        self.chans.lock().clear();
+        self.servers.lock().clear();
+        self.sessions.lock().clear();
+        self.lowers.lock().clear();
+        Ok(())
     }
 
     fn open(&self, ctx: &Ctx, _upper: ProtoId, parts: &ParticipantSet) -> XResult<SessionRef> {

@@ -264,6 +264,15 @@ impl Protocol for Select {
         ctx.kernel().open_enable(ctx, self.channel, self.me, &parts)
     }
 
+    fn reboot(&self, _ctx: &Ctx) -> XResult<()> {
+        // Channel pools and cached sessions referenced the old CHANNEL
+        // incarnation; drop them so fresh ones are opened on demand.
+        // Registered procedures and forwarding policy survive.
+        self.pools.lock().clear();
+        self.sessions.lock().clear();
+        Ok(())
+    }
+
     fn open(&self, ctx: &Ctx, _upper: ProtoId, parts: &ParticipantSet) -> XResult<SessionRef> {
         let peer = parts
             .remote_part()
@@ -455,6 +464,11 @@ impl Protocol for Rdgram {
     fn boot(&self, ctx: &Ctx) -> XResult<()> {
         let parts = ParticipantSet::local(Participant::proto(rel_proto_num("channel", "rdgram")?));
         ctx.kernel().open_enable(ctx, self.channel, self.me, &parts)
+    }
+
+    fn reboot(&self, _ctx: &Ctx) -> XResult<()> {
+        self.sessions.lock().clear();
+        Ok(())
     }
 
     fn open(&self, ctx: &Ctx, _upper: ProtoId, parts: &ParticipantSet) -> XResult<SessionRef> {

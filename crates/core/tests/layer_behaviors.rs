@@ -436,6 +436,68 @@ fn channel_resends_saved_reply_without_reexecution() {
     tb.sim.run_until_idle();
     assert_eq!(out.lock().take().unwrap(), b"layered result");
     assert_eq!(*hits.lock(), 1, "CHANNEL resent its saved reply");
+    // The resend is visible in the robustness counters: the client's timer
+    // fired and retransmitted; the server recognised the old sequence
+    // number and answered from the saved reply instead of re-executing.
+    let client = tb.sim.host_stats(tb.client.host());
+    assert!(client.retransmits >= 1, "client re-sent the request");
+    let server = tb.sim.host_stats(tb.server.host());
+    assert!(
+        server.duplicates_suppressed >= 1,
+        "the saved-reply path counts as a suppressed duplicate: {server:?}"
+    );
+}
+
+#[test]
+fn channel_suppresses_duplicate_faulted_requests() {
+    // Every frame the wire carries is delivered twice (`dup_per_mille:
+    // 1000`). Each duplicated request must land in one of CHANNEL's
+    // suppression branches — ACK-while-executing, saved-reply resend, or
+    // drop — and the procedure still executes exactly once per call.
+    let tb = rig(L_RPC_VIP.graph);
+    let hits = Arc::new(Mutex::new(0u32));
+    let h2 = Arc::clone(&hits);
+    xrpc::serve(&tb.server, "select", 5, move |_ctx, msg| {
+        *h2.lock() += 1;
+        Ok(msg)
+    })
+    .unwrap();
+    xrpc::procs::register_standard(&tb.server, "select").unwrap();
+    warm(&tb, "select");
+
+    tb.net.set_faults(
+        tb.lan,
+        FaultPlan {
+            dup_per_mille: 1000,
+            ..FaultPlan::default()
+        },
+    );
+    let calls = 4u32;
+    let server_ip = tb.server_ip;
+    tb.sim.spawn(tb.client.host(), move |ctx| {
+        let k = ctx.kernel();
+        for i in 0..calls {
+            let body = vec![i as u8; 16];
+            let got = xrpc::call(ctx, &k, "select", server_ip, 5, body.clone()).unwrap();
+            assert_eq!(got, body, "reply matches its request");
+        }
+    });
+    let r = tb.sim.run_until_idle();
+    assert_eq!(r.blocked, 0);
+    assert_eq!(
+        *hits.lock(),
+        calls,
+        "at-most-once despite duplicated requests"
+    );
+    let server = tb.sim.host_stats(tb.server.host());
+    assert!(
+        server.duplicates_suppressed >= u64::from(calls),
+        "each duplicated request was suppressed: {server:?}"
+    );
+    assert_eq!(
+        server.retransmits, 0,
+        "no loss: the server never re-sent on a timer"
+    );
 }
 
 // ---------------------------------------------------------------------------

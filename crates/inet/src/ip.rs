@@ -457,6 +457,15 @@ impl Protocol for Ip {
         Ok(())
     }
 
+    fn reboot(&self, _ctx: &Ctx) -> XResult<()> {
+        // Partial reassemblies and cached sessions do not survive a crash;
+        // interfaces, routes, and enables are configuration.
+        self.reasm.lock().clear();
+        self.passive.lock().clear();
+        self.eth_cache.lock().clear();
+        Ok(())
+    }
+
     fn open(&self, ctx: &Ctx, _upper: ProtoId, parts: &ParticipantSet) -> XResult<SessionRef> {
         let proto = parts
             .local_part()
@@ -493,6 +502,7 @@ impl Protocol for Ip {
             Ok(h) => h,
             Err(e) => {
                 drop(bytes);
+                ctx.note(RobustEvent::CorruptRejected);
                 ctx.trace("ip", || format!("dropped bad header: {e}"));
                 return Ok(());
             }

@@ -226,18 +226,47 @@ impl Protocol for Udp {
         let src_port = r.u16()?;
         let dst_port = r.u16()?;
         let length = r.u16()?;
-        let _ck = r.u16()?;
+        let ck = r.u16()?;
+        let hdr_bytes: [u8; UDP_HDR_LEN] = hdr[..UDP_HDR_LEN].try_into().expect("popped 8 bytes");
         drop(hdr);
         let payload_len = usize::from(length).saturating_sub(UDP_HDR_LEN);
         if msg.len() < payload_len {
+            ctx.note(RobustEvent::CorruptRejected);
             ctx.trace("udp", || "truncated datagram dropped".to_string());
             return Ok(());
         }
         msg.truncate(payload_len);
-        // Checksum verification cost (we trust the simulated wire plus the
-        // corruption fault already flips bytes the IP checksum misses; a
-        // full verify here charges the same work the real stack does).
+        // Checksum verification cost, charged whether or not the sender
+        // computed one (a real stack still inspects the field).
         ctx.charge((UDP_HDR_LEN + msg.len()) as u64 * ctx.cost().checksum_byte);
+        // Verify when the sender computed a checksum (field 0 = "not
+        // computed", the raw-Ethernet-under-VIP path) and the lower layer
+        // can reconstruct the pseudo-header. Summing over the header with
+        // its transmitted checksum in place must yield 0 (or 0xffff, the
+        // ones-complement negative zero).
+        if ck != 0 {
+            let ends = lls
+                .control(ctx, &ControlOp::GetPeerHost)
+                .and_then(|r| r.ip())
+                .and_then(|src| {
+                    let dst = lls.control(ctx, &ControlOp::GetMyHost)?.ip()?;
+                    Ok((src, dst))
+                });
+            if let Ok((src, dst)) = ends {
+                let mut pseudo = WireWriter::with_capacity(12);
+                pseudo.ip(src).ip(dst).u8(0).u8(ip_proto::UDP).u16(length);
+                let pseudo = pseudo.finish();
+                let body = msg.to_vec();
+                let sum = internet_checksum(&[&pseudo, &hdr_bytes, &body]);
+                if sum != 0 && sum != 0xffff {
+                    ctx.note(RobustEvent::CorruptRejected);
+                    ctx.trace("udp", || {
+                        format!("checksum mismatch on port {dst_port}: dropped")
+                    });
+                    return Ok(());
+                }
+            }
+        }
 
         ctx.charge(ctx.cost().demux_lookup);
         let upper = self

@@ -12,7 +12,7 @@ use inet::icmp::Icmp;
 use inet::tcp::Tcp;
 use inet::testbed::{base_registry, routed_pair, two_hosts, RoutedPair, TwoHosts};
 use inet::with_concrete;
-use simnet::fault::FaultPlan;
+use simnet::fault::{FaultDecision, FaultPlan};
 use xkernel::prelude::*;
 use xkernel::sim::{Mode, SimConfig};
 
@@ -487,6 +487,65 @@ fn corruption_is_caught_by_ip_checksum() {
         matches!(*errs.lock(), Some(XError::Timeout(_))),
         "corrupted packets must be dropped by the checksum, got {:?}",
         errs.lock()
+    );
+    // The rejection is accounted: some host's IP layer noted it.
+    let rejected: u64 = r.hosts.iter().map(|h| h.corrupt_rejected).sum();
+    assert!(
+        rejected >= 1,
+        "checksum rejections must be counted: {:?}",
+        r.hosts
+    );
+}
+
+#[test]
+fn udp_checksum_rejects_corrupt_payload_end_to_end() {
+    // Flip a byte *past* the IP header — eth(14) + ip(20) + udp(8) = byte 42
+    // is the first byte of UDP payload, which the IP header checksum cannot
+    // see. Only UDP's pseudo-header checksum stands between the flipped
+    // frame and the application; the datagram must vanish, not surface.
+    let tb = rig(Mode::Scheduled);
+    let server_ip = tb.server_ip;
+    {
+        let ctx = tb.sim.ctx(tb.server.host());
+        let udp = tb.server.lookup("udp").unwrap();
+        let rec = tb.server.lookup("recorder").unwrap();
+        let parts = ParticipantSet::local(Participant::default().with_port(9));
+        tb.server.open_enable(&ctx, udp, rec, &parts).unwrap();
+    }
+    let net = tb.net.clone();
+    let lan = tb.lan;
+    tb.sim.spawn(tb.client.host(), move |ctx| {
+        let k = ctx.kernel();
+        let udp = k.lookup("udp").unwrap();
+        let rec = k.lookup("recorder").unwrap();
+        let parts = ParticipantSet::pair(
+            Participant::default().with_port(5000),
+            Participant::host_port(server_ip, 9),
+        );
+        let sess = k.open(ctx, udp, rec, &parts).unwrap();
+        // One clean datagram first (also warms ARP), then corrupt the wire.
+        sess.push(ctx, Message::from_user(vec![0xAA; 64])).unwrap();
+        ctx.sleep(10_000_000);
+        net.set_faults(
+            lan,
+            FaultPlan {
+                custom: Some(Arc::new(|_, _| FaultDecision::CorruptAt(42))),
+                ..FaultPlan::default()
+            },
+        );
+        sess.push(ctx, Message::from_user(vec![0xBB; 64])).unwrap();
+    });
+    let r = tb.sim.run_until_idle();
+    assert_eq!(r.blocked, 0);
+    assert_eq!(
+        recorded(&tb.server),
+        vec![vec![0xAA; 64]],
+        "the corrupted datagram must never surface"
+    );
+    let server = tb.sim.host_stats(tb.server.host());
+    assert!(
+        server.corrupt_rejected >= 1,
+        "UDP counted the checksum rejection: {server:?}"
     );
 }
 

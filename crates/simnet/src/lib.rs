@@ -26,7 +26,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use fault::{FaultDecision, FaultPlan};
+use fault::{FaultDecision, FaultPlan, FaultSchedule};
 use xkernel::prelude::*;
 use xkernel::sim::{Mode, Time};
 
@@ -83,7 +83,7 @@ impl LanConfig {
 }
 
 /// Traffic counters for one LAN (tests and the throughput harness).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LanStats {
     /// Frames handed to the wire.
     pub sent: u64,
@@ -109,7 +109,7 @@ struct Attachment {
 
 struct Lan {
     cfg: LanConfig,
-    faults: FaultPlan,
+    faults: FaultSchedule,
     wire_free: Time,
     packet_index: u64,
     stats: LanStats,
@@ -144,7 +144,7 @@ impl SimNet {
         let id = LanId(lans.len());
         lans.push(Lan {
             cfg,
-            faults: FaultPlan::none(),
+            faults: FaultSchedule::none(),
             wire_free: 0,
             packet_index: 0,
             stats: LanStats::default(),
@@ -153,9 +153,14 @@ impl SimNet {
         id
     }
 
-    /// Installs a fault plan on a LAN.
+    /// Installs a per-packet fault plan on a LAN (no time-varying windows).
     pub fn set_faults(&self, lan: LanId, plan: FaultPlan) {
-        self.inner.lans.lock()[lan.0].faults = plan;
+        self.set_fault_schedule(lan, FaultSchedule::from_plan(plan));
+    }
+
+    /// Installs a full time-varying fault schedule on a LAN.
+    pub fn set_fault_schedule(&self, lan: LanId, schedule: FaultSchedule) {
+        self.inner.lans.lock()[lan.0].faults = schedule;
     }
 
     /// Reads a LAN's traffic counters.
@@ -224,37 +229,51 @@ impl SimNet {
         l.stats.sent += 1;
         l.stats.bytes += frame.len() as u64;
 
+        // The frame hits the wire at this virtual instant (0 inline); fault
+        // windows are evaluated against it.
+        let now = match ctx.mode() {
+            Mode::Scheduled => ctx.event_time(),
+            Mode::Inline => 0,
+        };
+
         // Fault decision (deterministic: sim PRNG under the lock).
         let decision = if l.faults.is_none() {
             FaultDecision::Deliver
         } else {
             let sim = self.inner.sim.clone();
             let bytes = frame.to_vec();
-            l.faults.decide(index, &bytes, move || sim.next_u64())
+            l.faults
+                .decide(now, index, src, dst, &bytes, move || sim.next_u64())
         };
 
-        let (copies, extra_delay, corrupt) = match decision {
+        let (copies, extra_delay, corrupt_at) = match decision {
             FaultDecision::Drop => {
                 l.stats.dropped += 1;
                 return Ok(());
             }
-            FaultDecision::Deliver => (1, 0, false),
+            FaultDecision::Deliver => (1, 0, None),
             FaultDecision::Duplicate => {
                 l.stats.duplicated += 1;
-                (2, 0, false)
+                (2, 0, None)
             }
             FaultDecision::Corrupt => {
                 l.stats.corrupted += 1;
-                (1, 0, true)
+                // Default flip lands just past the 14-byte Ethernet framing,
+                // in the first network-header byte.
+                (1, 0, Some(14))
             }
-            FaultDecision::Delay(d) => (1, d, false),
+            FaultDecision::CorruptAt(at) => {
+                l.stats.corrupted += 1;
+                (1, 0, Some(at))
+            }
+            FaultDecision::Delay(d) => (1, d, None),
         };
 
-        let payload = if corrupt {
+        let payload = if let Some(at) = corrupt_at {
             let mut v = frame.to_vec();
             // Flip a byte beyond the destination address so the frame still
             // arrives somewhere and higher-level checksums must catch it.
-            let at = 14.min(v.len().saturating_sub(1));
+            let at = at.max(6).min(v.len().saturating_sub(1));
             v[at] ^= 0xff;
             Message::from_wire(v)
         } else if l.cfg.pad_frames && frame.len() < l.cfg.min_frame {
@@ -293,7 +312,7 @@ impl SimNet {
             Mode::Scheduled => {
                 // Wire contention: transmission starts when both the sender
                 // is ready and the wire is free.
-                let start = ctx.event_time().max(l.wire_free);
+                let start = now.max(l.wire_free);
                 l.wire_free = start + tx * copies as u64;
                 let arrival = start + tx + prop + extra_delay;
                 drop(lans);
@@ -773,6 +792,52 @@ mod tests {
         assert_eq!(got.len(), 2);
         assert_eq!(got[0][6], 2, "second frame overtook the delayed first");
         assert_eq!(got[1][6], 1);
+    }
+
+    #[test]
+    fn partition_window_heals_at_schedule() {
+        let r = rig(Mode::Scheduled, 2);
+        let a = EthAddr::from_index(1);
+        let b = EthAddr::from_index(2);
+        r.net
+            .set_fault_schedule(r.lan, FaultSchedule::none().partition(a, b, 0, 10_000_000));
+        let nic = r.nics[0].clone();
+        r.sim.spawn(HostId(0), move |ctx| {
+            // Sent inside the partition window: dropped.
+            nic.push(ctx, frame_to(EthAddr::from_index(2), &[1]))
+                .unwrap();
+            // Sent after the scheduled healing instant: delivered.
+            ctx.sleep(20_000_000);
+            nic.push(ctx, frame_to(EthAddr::from_index(2), &[2]))
+                .unwrap();
+        });
+        r.sim.run_until_idle();
+        let got = received(&r, 1);
+        assert_eq!(got.len(), 1, "only the post-heal frame arrives");
+        assert_eq!(got[0][6], 2);
+        assert_eq!(r.net.stats(r.lan).dropped, 1);
+    }
+
+    #[test]
+    fn corrupt_at_flips_requested_offset() {
+        let r = rig(Mode::Scheduled, 2);
+        r.net.set_faults(
+            r.lan,
+            FaultPlan {
+                custom: Some(Arc::new(|_, _| FaultDecision::CorruptAt(20))),
+                ..FaultPlan::default()
+            },
+        );
+        let nic = r.nics[0].clone();
+        r.sim.spawn(HostId(0), move |ctx| {
+            nic.push(ctx, frame_to(EthAddr::from_index(2), &[0u8; 32]))
+                .unwrap();
+        });
+        r.sim.run_until_idle();
+        let got = received(&r, 1);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0][20], 0xff, "byte at the requested offset flipped");
+        assert_eq!(r.net.stats(r.lan).corrupted, 1);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use std::any::Any;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, Weak};
 
 use parking_lot::Mutex;
@@ -24,6 +25,7 @@ use xkernel::sim::Nanos;
 
 use crate::xdr::{XdrReader, XdrWriter};
 use xrpc::protnum::rel_proto_num;
+use xrpc::rto::{backoff_rto, RtoEstimator};
 
 /// Encoded header length.
 pub const RR_HDR_LEN: usize = 12;
@@ -37,10 +39,17 @@ pub const RR_UDP_PORT: Port = 111;
 /// Tuning knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct RrConfig {
-    /// Retransmission timeout.
+    /// Retransmission timeout (and the adaptive estimator's cold seed).
     pub timeout_ns: Nanos,
     /// Retransmissions before giving up.
     pub max_retries: u32,
+    /// Adaptive SRTT/RTTVAR retransmission timeout (see [`xrpc::rto`]).
+    /// When false, `timeout_ns` times every attempt, as in the paper.
+    pub adaptive: bool,
+    /// Floor for the adaptive RTO.
+    pub min_rto_ns: Nanos,
+    /// Ceiling for the adaptive RTO (also caps exponential backoff).
+    pub max_rto_ns: Nanos,
 }
 
 impl Default for RrConfig {
@@ -48,6 +57,9 @@ impl Default for RrConfig {
         RrConfig {
             timeout_ns: 150_000_000,
             max_retries: 6,
+            adaptive: true,
+            min_rto_ns: 1_000_000,
+            max_rto_ns: 10_000_000_000,
         }
     }
 }
@@ -63,14 +75,23 @@ struct Out {
     reply: Option<Message>,
 }
 
+/// Run-time-tunable knobs (`SetTimeout` / `SetBackoff` control ops).
+struct Tunables {
+    timeout_ns: AtomicU64,
+    adaptive: AtomicBool,
+    max_backoff: AtomicU32,
+}
+
 /// The REQUEST_REPLY protocol object.
 pub struct RequestReply {
     weak_self: Weak<RequestReply>,
     me: ProtoId,
     lower: ProtoId,
     cfg: RrConfig,
+    tunables: Tunables,
     lower_name: OnceLock<&'static str>,
     next_xid: Mutex<u32>,
+    estimator: Mutex<RtoEstimator>,
     enables: Mutex<HashMap<u32, ProtoId>>,
     outstanding: Mutex<HashMap<u32, Out>>,
     sessions: Mutex<HashMap<(u32, u32), SessionRef>>,
@@ -84,9 +105,19 @@ impl RequestReply {
             weak_self: weak_self.clone(),
             me,
             lower,
+            tunables: Tunables {
+                timeout_ns: AtomicU64::new(cfg.timeout_ns),
+                adaptive: AtomicBool::new(cfg.adaptive),
+                max_backoff: AtomicU32::new(6),
+            },
             cfg,
             lower_name: OnceLock::new(),
             next_xid: Mutex::new(0),
+            estimator: Mutex::new(RtoEstimator::new(
+                cfg.timeout_ns,
+                cfg.min_rto_ns,
+                cfg.max_rto_ns,
+            )),
             enables: Mutex::new(HashMap::new()),
             outstanding: Mutex::new(HashMap::new()),
             sessions: Mutex::new(HashMap::new()),
@@ -96,6 +127,21 @@ impl RequestReply {
 
     fn self_arc(&self) -> Arc<RequestReply> {
         self.weak_self.upgrade().expect("request_reply alive")
+    }
+
+    /// Switches between the adaptive RTO and the fixed timeout at run time.
+    pub fn set_adaptive(&self, on: bool) {
+        self.tunables.adaptive.store(on, Ordering::Relaxed);
+    }
+
+    /// Smoothed round-trip estimate (virtual ns; 0 until the first reply).
+    pub fn rtt_estimate(&self) -> u64 {
+        let e = self.estimator.lock();
+        if e.is_cold() {
+            0
+        } else {
+            e.srtt()
+        }
     }
 
     fn lower_parts(&self, peer: Option<IpAddr>) -> XResult<ParticipantSet> {
@@ -142,22 +188,58 @@ impl RequestReply {
             },
         );
         let hdr = encode_hdr(xid, MSG_CALL, proto_num);
-        let mut attempts = 0;
+        let fixed = self.tunables.timeout_ns.load(Ordering::Relaxed);
+        let adaptive = self.tunables.adaptive.load(Ordering::Relaxed);
+        let max_backoff = self.tunables.max_backoff.load(Ordering::Relaxed);
+        let sent_at = ctx.now();
+        let mut attempts = 0u32;
         loop {
+            // Cold estimator → the configured fixed timeout, so fault-free
+            // behaviour matches the paper's; warm → measured RTO. Retries
+            // back off exponentially with jitter (drawn only on
+            // retransmissions, preserving the fault-free PRNG stream).
+            let timeout = if adaptive {
+                let base = {
+                    let e = self.estimator.lock();
+                    if e.is_cold() {
+                        fixed
+                    } else {
+                        e.rto()
+                    }
+                };
+                let jitter = if attempts > 0 { ctx.next_u64() } else { 0 };
+                backoff_rto(base, attempts, max_backoff, self.cfg.max_rto_ns, jitter)
+            } else {
+                fixed
+            };
             let mut wire = msg.clone();
             ctx.push_header(&mut wire, &hdr);
             ctx.charge_layer_call();
-            lower.push(ctx, wire)?;
-            let _ = sema.p_timeout(ctx, self.cfg.timeout_ns);
+            if let Err(e) = lower.push(ctx, wire) {
+                // Drop the transaction record on a synchronous send
+                // failure; a late reply for this xid must find nothing.
+                self.outstanding.lock().remove(&xid);
+                return Err(e);
+            }
+            let _ = sema.p_timeout(ctx, timeout);
             {
                 let mut out = self.outstanding.lock();
                 if let Some(o) = out.get_mut(&xid) {
                     if let Some(reply) = o.reply.take() {
                         out.remove(&xid);
+                        drop(out);
+                        // Karn's rule: only unretransmitted transactions
+                        // yield an attributable RTT sample.
+                        if attempts == 0 {
+                            self.estimator
+                                .lock()
+                                .observe(ctx.now().saturating_sub(sent_at));
+                        }
                         return Ok(reply);
                     }
                 }
             }
+            ctx.note(RobustEvent::TimeoutFired);
             attempts += 1;
             if attempts > self.cfg.max_retries || ctx.mode() == Mode::Inline {
                 self.outstanding.lock().remove(&xid);
@@ -165,6 +247,7 @@ impl RequestReply {
                     "request_reply xid {xid} to {peer} after {attempts} attempts"
                 )));
             }
+            ctx.note(RobustEvent::Retransmit);
         }
     }
 }
@@ -191,6 +274,21 @@ impl Session for RrClientSession {
     fn control(&self, ctx: &Ctx, op: &ControlOp) -> XResult<ControlRes> {
         match op {
             ControlOp::GetPeerHost => Ok(ControlRes::Ip(self.peer)),
+            ControlOp::GetRtt => Ok(ControlRes::U64(self.parent.rtt_estimate())),
+            ControlOp::SetTimeout(ns) => {
+                self.parent
+                    .tunables
+                    .timeout_ns
+                    .store(*ns, Ordering::Relaxed);
+                Ok(ControlRes::Done)
+            }
+            ControlOp::SetBackoff(n) => {
+                self.parent
+                    .tunables
+                    .max_backoff
+                    .store(*n, Ordering::Relaxed);
+                Ok(ControlRes::Done)
+            }
             other => {
                 let lower = self.parent.lower_for(ctx, self.peer)?;
                 lower.control(ctx, other)
@@ -256,6 +354,19 @@ impl Protocol for RequestReply {
             .map_err(|_| XError::Config("request_reply double boot".into()))?;
         let parts = self.lower_parts(None)?;
         kernel.open_enable(ctx, self.lower, self.me, &parts)
+    }
+
+    fn reboot(&self, _ctx: &Ctx) -> XResult<()> {
+        // Stateless semantics make this easy: forget in-flight transactions
+        // and cached sessions; xid counter and enables survive.
+        self.outstanding.lock().clear();
+        self.sessions.lock().clear();
+        self.lowers.lock().clear();
+        self.tunables
+            .timeout_ns
+            .store(self.cfg.timeout_ns, Ordering::Relaxed);
+        self.estimator.lock().reset(self.cfg.timeout_ns);
+        Ok(())
     }
 
     fn open(&self, ctx: &Ctx, _upper: ProtoId, parts: &ParticipantSet) -> XResult<SessionRef> {

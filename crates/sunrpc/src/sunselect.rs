@@ -193,6 +193,13 @@ impl Protocol for SunSelect {
         kernel.open_enable(ctx, self.lower, self.me, &parts)
     }
 
+    fn reboot(&self, _ctx: &Ctx) -> XResult<()> {
+        // Cached lower sessions referenced the previous incarnation's
+        // transaction layer; registered programs survive.
+        self.lowers.lock().clear();
+        Ok(())
+    }
+
     /// Uniform-interface open: the (prog, vers, proc) triple is packed into
     /// the participant's protocol number as `prog << 16 | vers << 8 | proc`
     /// (each component ≤ its field width); [`SunSelect::call`] is the

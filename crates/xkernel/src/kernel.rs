@@ -126,6 +126,18 @@ impl Kernel {
         self.proto(self.lookup(name)?)
     }
 
+    /// Runs every installed protocol's [`crate::proto::Protocol::reboot`]
+    /// hook in id order — the same bottom-up order the initial boot used.
+    /// Invoked by the simulator after [`Sim::restart`] brings the host
+    /// back up.
+    pub fn reboot_protocols(&self, ctx: &Ctx) -> XResult<()> {
+        let ps: Vec<ProtocolRef> = self.protocols.read().iter().flatten().cloned().collect();
+        for p in ps {
+            p.reboot(ctx)?;
+        }
+        Ok(())
+    }
+
     /// Names of all configured protocols, in configuration order.
     pub fn protocol_names(&self) -> Vec<String> {
         let names = self.by_name.read();
@@ -212,6 +224,6 @@ pub mod prelude {
     pub use crate::proto::{
         ControlOp, ControlRes, ProtoId, Protocol, ProtocolRef, Session, SessionRef,
     };
-    pub use crate::sim::{Ctx, HostId, Mode, SharedSema, Sim, TimerHandle};
+    pub use crate::sim::{Ctx, HostId, HostStats, Mode, RobustEvent, SharedSema, Sim, TimerHandle};
     pub use crate::wire::{internet_checksum, WireReader, WireWriter};
 }

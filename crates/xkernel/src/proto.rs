@@ -76,6 +76,9 @@ pub enum ControlOp {
     GetRtt,
     /// Override the object's base timeout (nanoseconds).
     SetTimeout(u64),
+    /// Cap on consecutive exponential-backoff doublings a retransmitting
+    /// protocol may apply to its RTO (0 disables backoff).
+    SetBackoff(u32),
     /// Number of currently free RPC channels (SELECT).
     GetFreeChannels,
     /// The peer's boot id as last observed (CHANNEL / Sprite RPC).
@@ -208,6 +211,17 @@ pub trait Protocol: Send + Sync {
     /// One-time initialization after the whole protocol graph is built
     /// (bottom-up order). Must not block.
     fn boot(&self, _ctx: &Ctx) -> XResult<()> {
+        Ok(())
+    }
+
+    /// Re-initialization after a host crash ([`crate::sim::Sim::restart`]):
+    /// the protocol discards volatile state (open sessions, partial
+    /// reassemblies, in-flight exchanges) and picks a fresh boot
+    /// incarnation where it keeps one, while configuration installed at
+    /// build time (handlers, enables, graph wiring) survives. Called
+    /// bottom-up like [`Protocol::boot`]. Must not block. The default — do
+    /// nothing — suits stateless protocols.
+    fn reboot(&self, _ctx: &Ctx) -> XResult<()> {
         Ok(())
     }
 

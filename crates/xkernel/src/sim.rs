@@ -22,7 +22,7 @@
 //! The same protocol code runs unmodified in both modes.
 
 use std::collections::{BinaryHeap, HashMap, VecDeque};
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -136,8 +136,9 @@ impl SimConfig {
     }
 }
 
-/// Outcome of [`Sim::run_until_idle`].
-#[derive(Clone, Debug)]
+/// Outcome of [`Sim::run_until_idle`]. Derives `Eq` so chaos tests can
+/// assert bit-identical runs for identical seeds.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunReport {
     /// Virtual time of the last processed event.
     pub ended_at: Time,
@@ -146,6 +147,41 @@ pub struct RunReport {
     /// Processes still blocked when the event queue drained (deadlock if
     /// non-zero and the workload expected to finish).
     pub blocked: usize,
+    /// Per-host robustness counters, indexed by [`HostId`].
+    pub hosts: Vec<HostStats>,
+}
+
+/// Per-host robustness counters accumulated during a run. Protocols report
+/// the first four via [`Ctx::note`]; the crash/restart machinery maintains
+/// the rest.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HostStats {
+    /// Request retransmissions sent by this host's protocols.
+    pub retransmits: u64,
+    /// Duplicate requests this host suppressed (ack/resend/drop instead of
+    /// re-executing).
+    pub duplicates_suppressed: u64,
+    /// Corrupt frames a checksum on this host rejected.
+    pub corrupt_rejected: u64,
+    /// Retransmission timeouts that fired on this host.
+    pub timeouts_fired: u64,
+    /// Times this host crashed.
+    pub crashes: u64,
+    /// Times this host restarted.
+    pub restarts: u64,
+}
+
+/// A robustness event a protocol reports via [`Ctx::note`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RobustEvent {
+    /// A request was retransmitted.
+    Retransmit,
+    /// A duplicate request was suppressed instead of re-executed.
+    DuplicateSuppressed,
+    /// A corrupt frame was rejected by a checksum.
+    CorruptRejected,
+    /// A retransmission timeout fired.
+    TimeoutFired,
 }
 
 /// A boxed shepherd-process body.
@@ -154,6 +190,8 @@ pub type Thunk = Box<dyn FnOnce(&Ctx) + Send + 'static>;
 enum EvKind {
     Run { host: HostId, f: Thunk },
     Wake { lp: LpId, reason: WakeReason },
+    Crash { host: HostId },
+    Restart { host: HostId },
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -161,7 +199,14 @@ enum RunState {
     Running,
     Blocked,
     Done,
+    /// The host crashed while this process was blocked; its shepherd thread
+    /// unwinds via [`CrashKill`] the next time its condvar is signalled.
+    Killed,
 }
+
+/// Panic payload used to unwind a shepherd thread whose host crashed. Not a
+/// failure: [`worker_main`] filters it out of the panic record.
+struct CrashKill;
 
 struct LpState {
     host: HostId,
@@ -191,6 +236,9 @@ struct Sched {
     current: Option<LpId>,
     idle_workers: Vec<Arc<WorkerSlot>>,
     host_cpu: Vec<Time>,
+    host_down: Vec<bool>,
+    host_epoch: Vec<u32>,
+    host_stats: Vec<HostStats>,
     executed: u64,
     panics: Vec<String>,
 }
@@ -236,6 +284,9 @@ impl Sim {
                     current: None,
                     idle_workers: Vec::new(),
                     host_cpu: Vec::new(),
+                    host_down: Vec::new(),
+                    host_epoch: Vec::new(),
+                    host_stats: Vec::new(),
                     executed: 0,
                     panics: Vec::new(),
                 }),
@@ -265,7 +316,11 @@ impl Sim {
         let mut ks = self.core.kernels.write();
         let id = HostId(ks.len());
         ks.push(Arc::clone(k));
-        self.core.sched.lock().host_cpu.push(0);
+        let mut g = self.core.sched.lock();
+        g.host_cpu.push(0);
+        g.host_down.push(false);
+        g.host_epoch.push(0);
+        g.host_stats.push(HostStats::default());
         id
     }
 
@@ -295,6 +350,69 @@ impl Sim {
     /// inline mode it executes immediately on the calling thread.
     pub fn spawn(&self, host: HostId, f: impl FnOnce(&Ctx) + Send + 'static) {
         self.ctx(host).spawn_on(host, f);
+    }
+
+    fn push_event(&self, t: Time, kind: EvKind) {
+        let mut g = self.core.sched.lock();
+        let seq = g.seq;
+        g.seq += 1;
+        g.events.insert(seq, kind);
+        g.heap.push(std::cmp::Reverse((t, seq)));
+    }
+
+    /// Schedules a crash of `host` at absolute virtual time `t`. At that
+    /// instant every in-flight message addressed to the host, every timer
+    /// armed on it, and every blocked process running on it is discarded;
+    /// further deliveries are dropped until a restart. Scheduled mode only.
+    pub fn crash_at(&self, t: Time, host: HostId) {
+        assert_eq!(
+            self.core.mode,
+            Mode::Scheduled,
+            "crash/restart require virtual time"
+        );
+        install_crash_hook();
+        self.push_event(t, EvKind::Crash { host });
+    }
+
+    /// Crashes `host` at the current virtual time (see [`Sim::crash_at`]).
+    pub fn crash(&self, host: HostId) {
+        let t = self.virtual_now();
+        self.crash_at(t, host);
+    }
+
+    /// Schedules a restart of a crashed `host` at absolute virtual time `t`:
+    /// the host's boot epoch is bumped and every protocol's
+    /// [`crate::proto::Protocol::reboot`] hook runs as a fresh shepherd
+    /// process (protocols shed per-connection state and draw new boot
+    /// incarnation ids there). Scheduled mode only.
+    pub fn restart_at(&self, t: Time, host: HostId) {
+        assert_eq!(
+            self.core.mode,
+            Mode::Scheduled,
+            "crash/restart require virtual time"
+        );
+        self.push_event(t, EvKind::Restart { host });
+    }
+
+    /// Restarts `host` at the current virtual time (see [`Sim::restart_at`]).
+    pub fn restart(&self, host: HostId) {
+        let t = self.virtual_now();
+        self.restart_at(t, host);
+    }
+
+    /// Robustness counters for `host` (also in [`RunReport::hosts`]).
+    pub fn host_stats(&self, host: HostId) -> HostStats {
+        self.core.sched.lock().host_stats[host.0]
+    }
+
+    /// How many times `host` has restarted (0 until its first restart).
+    pub fn boot_epoch(&self, host: HostId) -> u32 {
+        self.core.sched.lock().host_epoch[host.0]
+    }
+
+    /// Whether `host` is currently crashed.
+    pub fn is_down(&self, host: HostId) -> bool {
+        self.core.sched.lock().host_down[host.0]
     }
 
     /// Runs queued events until none remain. Scheduled mode only.
@@ -333,31 +451,65 @@ impl Sim {
             let kind = g.events.remove(&seq).expect("event checked present");
             match kind {
                 EvKind::Run { host, f } => {
-                    let lp = LpId(g.next_lp);
-                    g.next_lp += 1;
-                    g.lps.insert(
-                        lp.0,
-                        LpState {
-                            host,
-                            state: RunState::Running,
-                            cv: Arc::new(Condvar::new()),
-                            wake_reason: WakeReason::Normal,
-                        },
-                    );
-                    g.current = Some(lp);
+                    if g.host_down[host.0] {
+                        continue; // Scheduled before the crash; dies with it.
+                    }
                     let cpu = &mut g.host_cpu[host.0];
                     *cpu = (*cpu).max(t);
-                    let slot = g
-                        .idle_workers
-                        .pop()
-                        .unwrap_or_else(|| spawn_worker(Arc::clone(core)));
-                    drop(g);
-                    *slot.m.lock() = Some(Task { lp, host, f });
-                    slot.cv.notify_one();
-                    g = core.sched.lock();
-                    while g.current.is_some() {
-                        core.sched_cv.wait(&mut g);
+                    g = dispatch_lp(core, g, host, f);
+                }
+                EvKind::Crash { host } => {
+                    if g.host_down[host.0] {
+                        continue; // Already down.
                     }
+                    g.host_down[host.0] = true;
+                    g.host_stats[host.0].crashes += 1;
+                    // In-flight deliveries, timers, and spawned runs on the
+                    // host die with it, as do pending wakes for its
+                    // processes. Crash/Restart events survive — a scheduled
+                    // restart must not be purged by its own crash.
+                    let Sched { events, lps, .. } = &mut *g;
+                    let dead: Vec<u64> = events
+                        .iter()
+                        .filter(|(_, k)| match k {
+                            EvKind::Run { host: h, .. } => *h == host,
+                            EvKind::Wake { lp, .. } => {
+                                lps.get(&lp.0).is_some_and(|s| s.host == host)
+                            }
+                            _ => false,
+                        })
+                        .map(|(s, _)| *s)
+                        .collect();
+                    for s in dead {
+                        events.remove(&s);
+                    }
+                    // Blocked processes on the host are killed: their
+                    // shepherd threads unwind (via a filtered panic) the
+                    // next time their condvar is signalled.
+                    for st in lps.values_mut() {
+                        if st.host == host && st.state == RunState::Blocked {
+                            st.state = RunState::Killed;
+                            st.cv.notify_one();
+                        }
+                    }
+                }
+                EvKind::Restart { host } => {
+                    if !g.host_down[host.0] {
+                        continue; // Not down; nothing to restart.
+                    }
+                    g.host_down[host.0] = false;
+                    g.host_epoch[host.0] += 1;
+                    g.host_stats[host.0].restarts += 1;
+                    let cpu = &mut g.host_cpu[host.0];
+                    *cpu = (*cpu).max(t);
+                    // The kernel reboots as a fresh shepherd process, giving
+                    // every protocol its reboot hook.
+                    let f: Thunk = Box::new(move |ctx: &Ctx| {
+                        if let Err(e) = ctx.kernel().reboot_protocols(ctx) {
+                            panic!("reboot failed on host {}: {e}", ctx.host().0);
+                        }
+                    });
+                    g = dispatch_lp(core, g, host, f);
                 }
                 EvKind::Wake { lp, reason } => {
                     let Some(st) = g.lps.get_mut(&lp.0) else {
@@ -390,6 +542,7 @@ impl Sim {
             ended_at: g.now,
             events: g.executed,
             blocked,
+            hosts: g.host_stats.clone(),
         };
         let panic = g.panics.first().cloned();
         drop(g);
@@ -425,6 +578,57 @@ impl Sim {
     }
 }
 
+/// Hands `f` to a worker thread as a new shepherd process on `host` and
+/// waits for it to yield (block or finish). Takes and returns the scheduler
+/// guard; released only while the process actually runs.
+fn dispatch_lp<'a>(
+    core: &'a Arc<SimCore>,
+    mut g: parking_lot::MutexGuard<'a, Sched>,
+    host: HostId,
+    f: Thunk,
+) -> parking_lot::MutexGuard<'a, Sched> {
+    let lp = LpId(g.next_lp);
+    g.next_lp += 1;
+    g.lps.insert(
+        lp.0,
+        LpState {
+            host,
+            state: RunState::Running,
+            cv: Arc::new(Condvar::new()),
+            wake_reason: WakeReason::Normal,
+        },
+    );
+    g.current = Some(lp);
+    let slot = g
+        .idle_workers
+        .pop()
+        .unwrap_or_else(|| spawn_worker(Arc::clone(core)));
+    drop(g);
+    *slot.m.lock() = Some(Task { lp, host, f });
+    slot.cv.notify_one();
+    let mut g = core.sched.lock();
+    while g.current.is_some() {
+        core.sched_cv.wait(&mut g);
+    }
+    g
+}
+
+/// Installs (once, process-wide) a panic hook that silences the
+/// [`CrashKill`] unwind used to reap crashed hosts' processes; everything
+/// else is forwarded to the previous hook.
+fn install_crash_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<CrashKill>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
 fn spawn_worker(core: Arc<SimCore>) -> Arc<WorkerSlot> {
     let slot = Arc::new(WorkerSlot {
         m: Mutex::new(None),
@@ -458,18 +662,26 @@ fn worker_main(core: Arc<SimCore>, slot: Arc<WorkerSlot>) {
         let result = catch_unwind(AssertUnwindSafe(move || (task.f)(&ctx)));
         let mut g = core.sched.lock();
         if let Err(p) = result {
-            let text = p
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| p.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".into());
-            g.panics.push(text);
+            // A CrashKill unwind is the normal death of a process whose
+            // host crashed, not a failure.
+            if !p.is::<CrashKill>() {
+                let text = p
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| p.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                g.panics.push(text);
+            }
         }
         if let Some(st) = g.lps.get_mut(&lp.0) {
             st.state = RunState::Done;
         }
         g.lps.remove(&lp.0);
-        g.current = None;
+        // A killed process unwinds asynchronously, after the scheduler has
+        // moved on: only clear `current` if it is still ours.
+        if g.current == Some(lp) {
+            g.current = None;
+        }
         g.idle_workers.push(Arc::clone(&slot));
         drop(g);
         core.sched_cv.notify_one();
@@ -536,6 +748,33 @@ impl Ctx {
             return;
         }
         self.core.sched.lock().host_cpu[self.host.0] += ns;
+    }
+
+    /// Records a robustness event against this context's host. The per-host
+    /// tallies surface in [`RunReport::hosts`].
+    pub fn note(&self, ev: RobustEvent) {
+        let mut g = self.core.sched.lock();
+        let Some(s) = g.host_stats.get_mut(self.host.0) else {
+            return;
+        };
+        match ev {
+            RobustEvent::Retransmit => s.retransmits += 1,
+            RobustEvent::DuplicateSuppressed => s.duplicates_suppressed += 1,
+            RobustEvent::CorruptRejected => s.corrupt_rejected += 1,
+            RobustEvent::TimeoutFired => s.timeouts_fired += 1,
+        }
+    }
+
+    /// This host's boot incarnation: 0 at first boot, bumped on every
+    /// [`Sim::restart`].
+    pub fn boot_epoch(&self) -> u32 {
+        self.core
+            .sched
+            .lock()
+            .host_epoch
+            .get(self.host.0)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Charges the cost of crossing one protocol layer. The kernel's demux
@@ -621,6 +860,11 @@ impl Ctx {
             "absolute scheduling requires virtual time"
         );
         let mut g = self.core.sched.lock();
+        if g.host_down.get(host.0).copied().unwrap_or(false) {
+            // A crashed host arms no timers and accepts no deliveries; the
+            // work is silently dropped, exactly as its in-flight state was.
+            return TimerHandle::NONE;
+        }
         let seq = g.seq;
         g.seq += 1;
         g.events.insert(seq, EvKind::Run { host, f });
@@ -676,8 +920,15 @@ impl Ctx {
         loop {
             cv.wait(&mut g);
             let st = g.lps.get(&lp.0).expect("blocked process cannot vanish");
-            if st.state == RunState::Running {
-                return st.wake_reason;
+            match st.state {
+                RunState::Running => return st.wake_reason,
+                RunState::Killed => {
+                    // Host crashed while we were blocked: unwind this
+                    // process. worker_main recognises the payload.
+                    drop(g);
+                    panic_any(CrashKill);
+                }
+                _ => {}
             }
         }
     }

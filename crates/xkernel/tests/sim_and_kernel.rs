@@ -567,3 +567,124 @@ fn sema_count_accumulates_when_nobody_waits() {
     assert!(sema.p_timeout(&ctx, 1), "count available: immediate");
     assert_eq!(sema.count(), 0);
 }
+
+// ---------------------------------------------------------------------------
+// Host crash / restart.
+// ---------------------------------------------------------------------------
+
+/// Protocol that counts how often its reboot hook runs.
+struct RebootProbe {
+    me: ProtoId,
+    reboots: Mutex<u32>,
+}
+
+impl Protocol for RebootProbe {
+    fn name(&self) -> &'static str {
+        "reboot_probe"
+    }
+
+    fn id(&self) -> ProtoId {
+        self.me
+    }
+
+    fn open(&self, _ctx: &Ctx, _upper: ProtoId, _parts: &ParticipantSet) -> XResult<SessionRef> {
+        Err(XError::Unsupported("probe open"))
+    }
+
+    fn open_enable(&self, _ctx: &Ctx, _upper: ProtoId, _parts: &ParticipantSet) -> XResult<()> {
+        Ok(())
+    }
+
+    fn demux(&self, _ctx: &Ctx, _lls: &SessionRef, _msg: Message) -> XResult<()> {
+        Ok(())
+    }
+
+    fn reboot(&self, _ctx: &Ctx) -> XResult<()> {
+        *self.reboots.lock() += 1;
+        Ok(())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[test]
+fn crash_kills_blocked_processes_and_pending_timers() {
+    let sim = Sim::new(SimConfig::scheduled().with_cost(CostModel::zero()));
+    let _k = Kernel::new(&sim, "h");
+    let sema = SharedSema::new(0);
+    let fired = Arc::new(Mutex::new(false));
+    let f = fired.clone();
+    sim.spawn(HostId(0), move |ctx| {
+        ctx.schedule_after(1_000_000, move |_| *f.lock() = true);
+        sema.p(ctx); // Nobody will V; the crash reaps us.
+    });
+    sim.crash_at(500_000, HostId(0));
+    let r = sim.run_until_idle();
+    assert_eq!(r.blocked, 0, "a killed process is not 'blocked'");
+    assert!(!*fired.lock(), "timers die with their host");
+    assert!(sim.is_down(HostId(0)));
+    assert_eq!(sim.host_stats(HostId(0)).crashes, 1);
+    assert_eq!(r.hosts[0].crashes, 1);
+}
+
+#[test]
+fn restart_bumps_epoch_and_runs_reboot_hooks() {
+    let sim = Sim::new(SimConfig::scheduled().with_cost(CostModel::zero()));
+    let k = Kernel::new(&sim, "h");
+    let id = k.reserve("reboot_probe").unwrap();
+    let probe = Arc::new(RebootProbe {
+        me: id,
+        reboots: Mutex::new(0),
+    });
+    k.install(id, Arc::clone(&probe) as ProtocolRef).unwrap();
+    sim.crash_at(100, HostId(0));
+    sim.restart_at(200, HostId(0));
+    sim.run_until_idle();
+    assert!(!sim.is_down(HostId(0)));
+    assert_eq!(sim.boot_epoch(HostId(0)), 1);
+    assert_eq!(*probe.reboots.lock(), 1);
+    assert_eq!(sim.host_stats(HostId(0)).restarts, 1);
+    // The host accepts fresh work after coming back up.
+    let hit = Arc::new(Mutex::new(false));
+    let h = hit.clone();
+    sim.spawn(HostId(0), move |_| *h.lock() = true);
+    sim.run_until_idle();
+    assert!(*hit.lock());
+}
+
+#[test]
+fn down_host_silently_drops_scheduled_work() {
+    let sim = Sim::new(SimConfig::scheduled().with_cost(CostModel::zero()));
+    let _k = Kernel::new(&sim, "h");
+    sim.crash_at(0, HostId(0));
+    sim.run_until_idle();
+    let hit = Arc::new(Mutex::new(false));
+    let h = hit.clone();
+    sim.spawn(HostId(0), move |_| *h.lock() = true);
+    sim.run_until_idle();
+    assert!(!*hit.lock(), "work aimed at a down host is dropped");
+}
+
+#[test]
+fn robustness_counters_accumulate_per_host() {
+    let sim = Sim::new(SimConfig::scheduled().with_cost(CostModel::zero()));
+    let _a = Kernel::new(&sim, "a");
+    let _b = Kernel::new(&sim, "b");
+    sim.spawn(HostId(0), |ctx| {
+        ctx.note(RobustEvent::Retransmit);
+        ctx.note(RobustEvent::Retransmit);
+        ctx.note(RobustEvent::TimeoutFired);
+    });
+    sim.spawn(HostId(1), |ctx| {
+        ctx.note(RobustEvent::DuplicateSuppressed);
+        ctx.note(RobustEvent::CorruptRejected);
+    });
+    let r = sim.run_until_idle();
+    assert_eq!(r.hosts[0].retransmits, 2);
+    assert_eq!(r.hosts[0].timeouts_fired, 1);
+    assert_eq!(r.hosts[0].duplicates_suppressed, 0);
+    assert_eq!(r.hosts[1].duplicates_suppressed, 1);
+    assert_eq!(r.hosts[1].corrupt_rejected, 1);
+}
