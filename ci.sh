@@ -22,6 +22,29 @@ echo "==> chaos soak (fixed seed set x all stacks)"
 # invariant suite visibly gates every PR even if the test layout changes.
 cargo test -p chaos -q
 
+echo "==> bench-smoke: xbench wallclock --quick"
+# Exercises the wall-clock harness end to end: inline calls/sec, scheduled
+# events/sec, and the parallel-vs-sequential soak (the binary itself asserts
+# the parallel reports are bit-identical and self-validates the JSON before
+# writing). The grep below re-checks required fields from the outside so a
+# validator regression can't pass silently.
+BENCH_SMOKE=$(mktemp /tmp/BENCH_wallclock.XXXXXX.json)
+cargo run --release -q -p xbench --bin wallclock -- --quick --out "$BENCH_SMOKE"
+for field in schema cores threads null_rpc calls_per_sec scheduled \
+             events_per_sec soak scenarios sequential_wall_secs \
+             parallel_wall_secs per_stack_wall_secs speedup \
+             reports_bit_identical; do
+    if ! grep -q "\"$field\"" "$BENCH_SMOKE"; then
+        echo "ci: BENCH_wallclock.json missing field \"$field\"" >&2
+        exit 1
+    fi
+done
+grep -q '"reports_bit_identical": true' "$BENCH_SMOKE" || {
+    echo "ci: parallel soak reports not bit-identical" >&2
+    exit 1
+}
+rm -f "$BENCH_SMOKE"
+
 echo "==> xk-lint: built-in paper stacks"
 XK_LINT=target/release/xk-lint
 "$XK_LINT" --builtin --warn-as-error

@@ -5,6 +5,7 @@
 //! claim (and the wire-saturation crossover) is visible.
 
 use xbench::{ms, print_row, print_table_header, rpc_rtt_for_size, THROUGHPUT_ITERS};
+use xkernel::par;
 use xrpc::stacks::{L_RPC_VIP, L_RPC_VIPSIZE, M_RPC_ETH, M_RPC_IP, M_RPC_VIP};
 
 fn main() {
@@ -28,15 +29,17 @@ fn main() {
             "L_RPC-VIPSIZE",
         ],
     );
-    // One rig per (stack, size) keeps runs independent and deterministic.
-    let mut table: Vec<Vec<u64>> = Vec::new();
-    for &size in &sizes {
-        let mut row = Vec::new();
-        for stack in stacks {
-            row.push(rpc_rtt_for_size(stack, size, THROUGHPUT_ITERS / 2));
-        }
-        table.push(row);
-    }
+    // One rig per (stack, size) keeps runs independent and deterministic —
+    // which also makes the whole grid a fan-out: run_indexed returns the
+    // cells in input order, so the table is identical at any thread count.
+    let cells: Vec<(usize, &xrpc::stacks::StackDef)> = sizes
+        .iter()
+        .flat_map(|&size| stacks.iter().map(move |&stack| (size, stack)))
+        .collect();
+    let results = par::run_indexed(cells, par::default_threads(), |&(size, stack)| {
+        rpc_rtt_for_size(stack, size, THROUGHPUT_ITERS / 2)
+    });
+    let table: Vec<Vec<u64>> = results.chunks(stacks.len()).map(<[u64]>::to_vec).collect();
     for (i, &size) in sizes.iter().enumerate() {
         let mut cells = vec![format!("{}k", size / 1024)];
         for v in &table[i] {

@@ -1,0 +1,53 @@
+//! Golden pins for the paper-table virtual-time outputs.
+//!
+//! The wall-clock fast path (parallel scenario engine, zero-copy checksum
+//! folding, scheduler direct handoff) must not move virtual time by a
+//! single nanosecond: Tables I and II are the paper reproduction, and they
+//! are deterministic, so we pin them bit for bit. If a change legitimately
+//! alters the cost model, re-capture these with the table binaries and
+//! update the constants — anything else failing here is a regression.
+
+use xbench::{pinger_latency, rpc_latency, rpc_rtt_for_size, THROUGHPUT_ITERS};
+use xrpc::stacks::{StackDef, L_RPC_VIP, M_RPC_ETH, M_RPC_IP, M_RPC_VIP};
+
+/// (stack, null-RPC latency ns, 1k-byte RTT ns, 16k-byte RTT ns).
+const GOLDEN: [(&StackDef, u64, u64, u64); 4] = [
+    (&M_RPC_ETH, 1_659_800, 2_467_800, 18_337_000),
+    (&M_RPC_IP, 1_988_600, 2_807_800, 18_853_000),
+    (&M_RPC_VIP, 1_695_800, 2_503_800, 18_373_000),
+    (&L_RPC_VIP, 1_884_440, 2_699_640, 18_455_160),
+];
+
+#[test]
+fn table1_and_2_latency_bit_identical() {
+    for (stack, lat, _, _) in GOLDEN {
+        assert_eq!(rpc_latency(stack), lat, "latency moved for {}", stack.name);
+    }
+}
+
+#[test]
+fn table1_and_2_throughput_bit_identical() {
+    for (stack, _, t1k, t16k) in GOLDEN {
+        assert_eq!(
+            rpc_rtt_for_size(stack, 1024, THROUGHPUT_ITERS),
+            t1k,
+            "1k RTT moved for {}",
+            stack.name
+        );
+        assert_eq!(
+            rpc_rtt_for_size(stack, 16 * 1024, THROUGHPUT_ITERS),
+            t16k,
+            "16k RTT moved for {}",
+            stack.name
+        );
+    }
+}
+
+#[test]
+fn table3_pinger_row_bit_identical() {
+    assert_eq!(
+        pinger_latency("vip -> ip eth arp\nfragment -> vip\n", "fragment"),
+        1_376_097,
+        "FRAGMENT-VIP pinger latency moved"
+    );
+}

@@ -592,6 +592,53 @@ enum RpcFlavor {
     SunRpc(&'static str),
 }
 
+/// Builds the full soak matrix: every paper RPC stack plus the Sun RPC and
+/// Psync compositions, each under every profile it can be held to bounded
+/// completion under, across `seeds_per_cell` consecutive seeds starting at
+/// `seed_base`. The matrix order is fixed — stacks in registry order,
+/// profiles in escalation order, seeds ascending — so two runs of the same
+/// matrix are comparable element by element.
+pub fn full_matrix(seed_base: u64, seeds_per_cell: u64, calls: u32) -> Vec<Scenario> {
+    let mut stacks = StackKind::all_paper();
+    stacks.push(StackKind::SunRpcUdp);
+    stacks.push(StackKind::SunRpcChannel);
+    stacks.push(StackKind::Psync);
+    let mut out = Vec::new();
+    for stack in stacks {
+        for &profile in stack.profiles() {
+            for i in 0..seeds_per_cell {
+                out.push(Scenario {
+                    stack,
+                    profile,
+                    seed: seed_base + i,
+                    calls,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Runs a batch of scenarios across `threads` OS threads and returns the
+/// reports **in input order**. Every scenario owns its whole simulation
+/// (hosts, PRNG, event queue), so the only cross-scenario coupling is the
+/// report order — which [`xkernel::par::run_indexed`] pins to the input
+/// order. A run with `threads == 1` and a run with `threads == N` produce
+/// `Eq`-identical report vectors; the parallel soak is therefore exactly as
+/// reproducible as the sequential one, just faster in wall-clock terms.
+///
+/// With `checked`, every scenario's invariants are asserted as it completes
+/// (a violation panics the batch).
+pub fn run_matrix(scenarios: Vec<Scenario>, threads: usize, checked: bool) -> Vec<ChaosReport> {
+    xkernel::par::run_indexed(scenarios, threads, |sc| {
+        if checked {
+            sc.run_checked()
+        } else {
+            sc.run()
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,54 @@
+//! Determinism of the parallel scenario engine: fanning the soak matrix
+//! across OS threads must not perturb a single bit of any report. Each
+//! scenario owns its whole simulated world, so the only thing parallelism
+//! could corrupt is report *order* — and `run_matrix` pins that to the
+//! input order. These tests assert `Eq` between sequential and parallel
+//! report vectors for the same seeds.
+
+use chaos::{full_matrix, run_matrix, Profile, Scenario, StackKind};
+
+#[test]
+fn parallel_matrix_reports_equal_sequential() {
+    let scenarios = full_matrix(0x5eed_0000, 2, 6);
+    assert!(scenarios.len() > 20, "matrix unexpectedly small");
+    let seq = run_matrix(scenarios.clone(), 1, true);
+    let par = run_matrix(scenarios, 4, true);
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn parallel_matrix_stable_across_thread_counts() {
+    let scenarios = full_matrix(0xab5e_1100, 1, 5);
+    let two = run_matrix(scenarios.clone(), 2, false);
+    let eight = run_matrix(scenarios, 8, false);
+    assert_eq!(two, eight);
+}
+
+#[test]
+fn matrix_order_is_keyed_and_fixed() {
+    let a = full_matrix(7, 3, 4);
+    let b = full_matrix(7, 3, 4);
+    let key = |s: &Scenario| (s.stack.name(), format!("{:?}", s.profile), s.seed);
+    let keys_a: Vec<_> = a.iter().map(key).collect();
+    let keys_b: Vec<_> = b.iter().map(key).collect();
+    assert_eq!(keys_a, keys_b);
+    // Every (stack, profile, seed) key is distinct: reports can be joined
+    // back to their scenario without positional bookkeeping.
+    let mut sorted = keys_a.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(sorted.len(), keys_a.len());
+}
+
+#[test]
+fn single_scenario_matches_direct_run() {
+    let sc = Scenario {
+        stack: StackKind::all_paper()[0],
+        profile: Profile::ALL[0],
+        seed: 42,
+        calls: 8,
+    };
+    let direct = sc.run();
+    let via_engine = run_matrix(vec![sc], 4, false);
+    assert_eq!(via_engine, vec![direct]);
+}

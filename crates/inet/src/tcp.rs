@@ -455,10 +455,12 @@ impl Tcp {
         // delivered (IP's total_len already trimmed link padding; a lower
         // layer without a length field leaves pad bytes in and the checksum
         // below rejects the segment — the paper's incompatibility).
-        let whole = msg.to_vec();
-        ctx.charge(whole.len() as u64 * ctx.cost().checksum_byte);
-        let pseudo = pseudo_header(src, dst, whole.len());
-        if internet_checksum(&[&pseudo, &whole]) != 0 {
+        let seg_len = msg.len();
+        ctx.charge(seg_len as u64 * ctx.cost().checksum_byte);
+        let mut acc = ChecksumAcc::new();
+        acc.add(&pseudo_header(src, dst, seg_len));
+        acc.add_message(&msg);
+        if acc.finish() != 0 {
             ctx.trace("tcp", || format!("bad checksum from {src}"));
             return Ok(());
         }

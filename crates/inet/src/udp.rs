@@ -93,20 +93,29 @@ pub struct UdpSession {
     lower: SessionRef,
 }
 
+/// Computes the UDP checksum (pseudo-header + header + body) by folding
+/// across the message's segments with [`ChecksumAcc`]. The pseudo-header
+/// lives on the stack and the body is never materialized contiguously —
+/// this is the zero-copy hot path the paper's Section 3 argues for.
+pub fn udp_checksum(src: IpAddr, dst: IpAddr, length: u16, hdr: &[u8], body: &Message) -> u16 {
+    // Pseudo-header: src, dst, zero+proto, udp length.
+    let mut pseudo = [0u8; 12];
+    pseudo[0..4].copy_from_slice(&src.0.to_be_bytes());
+    pseudo[4..8].copy_from_slice(&dst.0.to_be_bytes());
+    pseudo[9] = ip_proto::UDP;
+    pseudo[10..12].copy_from_slice(&length.to_be_bytes());
+    let mut acc = ChecksumAcc::new();
+    acc.add(&pseudo);
+    acc.add(hdr);
+    acc.add_message(body);
+    acc.finish()
+}
+
 impl UdpSession {
     fn checksum(&self, ctx: &Ctx, src: IpAddr, payload: &Message, hdr: &mut [u8]) -> XResult<()> {
-        // Pseudo-header: src, dst, zero+proto, udp length.
-        let mut pseudo = WireWriter::with_capacity(12);
-        pseudo
-            .ip(src)
-            .ip(self.peer)
-            .u8(0)
-            .u8(ip_proto::UDP)
-            .u16((payload.len() + UDP_HDR_LEN) as u16);
-        let pseudo = pseudo.finish();
-        let body = payload.to_vec();
-        ctx.charge((pseudo.len() + hdr.len() + body.len()) as u64 * ctx.cost().checksum_byte);
-        let ck = internet_checksum(&[&pseudo, hdr, &body]);
+        let length = (payload.len() + UDP_HDR_LEN) as u16;
+        ctx.charge((12 + hdr.len() + payload.len()) as u64 * ctx.cost().checksum_byte);
+        let ck = udp_checksum(src, self.peer, length, hdr, payload);
         let ck = if ck == 0 { 0xffff } else { ck };
         hdr[6..8].copy_from_slice(&ck.to_be_bytes());
         Ok(())
@@ -253,11 +262,7 @@ impl Protocol for Udp {
                     Ok((src, dst))
                 });
             if let Ok((src, dst)) = ends {
-                let mut pseudo = WireWriter::with_capacity(12);
-                pseudo.ip(src).ip(dst).u8(0).u8(ip_proto::UDP).u16(length);
-                let pseudo = pseudo.finish();
-                let body = msg.to_vec();
-                let sum = internet_checksum(&[&pseudo, &hdr_bytes, &body]);
+                let sum = udp_checksum(src, dst, length, &hdr_bytes, &msg);
                 if sum != 0 && sum != 0xffff {
                     ctx.note(RobustEvent::CorruptRejected);
                     ctx.trace("udp", || {

@@ -243,6 +243,13 @@ impl FaultSchedule {
         self.base.is_none() && self.windows.is_empty()
     }
 
+    /// True when [`FaultSchedule::decide`] will actually look at the frame's
+    /// bytes (only a custom [`FaultFn`] does); lets the wire skip
+    /// materializing a contiguous copy of the frame otherwise.
+    pub fn wants_frame_bytes(&self) -> bool {
+        self.base.custom.is_some()
+    }
+
     /// Adds a window (builder style).
     pub fn with_window(mut self, w: FaultWindow) -> FaultSchedule {
         self.windows.push(w);

@@ -236,14 +236,26 @@ impl SimNet {
             Mode::Inline => 0,
         };
 
-        // Fault decision (deterministic: sim PRNG under the lock).
+        // Fault decision (deterministic: sim PRNG under the lock). The frame
+        // is materialized contiguously only when a custom FaultFn will
+        // actually inspect its bytes, and that buffer is reused below for
+        // any mutation — every fault path copies the frame at most once.
+        let mut frame_bytes: Option<Vec<u8>> = None;
         let decision = if l.faults.is_none() {
             FaultDecision::Deliver
         } else {
             let sim = self.inner.sim.clone();
-            let bytes = frame.to_vec();
-            l.faults
-                .decide(now, index, src, dst, &bytes, move || sim.next_u64())
+            if l.faults.wants_frame_bytes() {
+                frame_bytes = Some(frame.to_vec());
+            }
+            l.faults.decide(
+                now,
+                index,
+                src,
+                dst,
+                frame_bytes.as_deref().unwrap_or(&[]),
+                move || sim.next_u64(),
+            )
         };
 
         let (copies, extra_delay, corrupt_at) = match decision {
@@ -270,14 +282,14 @@ impl SimNet {
         };
 
         let payload = if let Some(at) = corrupt_at {
-            let mut v = frame.to_vec();
+            let mut v = frame_bytes.take().unwrap_or_else(|| frame.to_vec());
             // Flip a byte beyond the destination address so the frame still
             // arrives somewhere and higher-level checksums must catch it.
             let at = at.max(6).min(v.len().saturating_sub(1));
             v[at] ^= 0xff;
             Message::from_wire(v)
         } else if l.cfg.pad_frames && frame.len() < l.cfg.min_frame {
-            let mut v = frame.to_vec();
+            let mut v = frame_bytes.take().unwrap_or_else(|| frame.to_vec());
             v.resize(l.cfg.min_frame, 0);
             Message::from_wire(v)
         } else {
@@ -299,13 +311,33 @@ impl SimNet {
             l.stats.delivered += copies as u64;
         }
 
+        // One frame, possibly many deliveries. With real fan-out (broadcast
+        // or duplication) the payload's front buffer is frozen into an
+        // Arc-shared segment first, so per-receiver clones bump a refcount
+        // instead of copying header bytes. The single-delivery common case
+        // skips the freeze and *moves* the message — zero copies either way.
+        let mut pending = Some(payload);
+        let total = copies * receivers.len();
+        if total > 1 {
+            pending.as_mut().expect("payload present").share();
+        }
+        let mut left = total;
+        let mut next_copy = move || {
+            left -= 1;
+            if left == 0 {
+                pending.take().expect("last delivery")
+            } else {
+                pending.as_ref().expect("payload present").clone()
+            }
+        };
+
         match ctx.mode() {
             Mode::Inline => {
                 drop(lans);
                 for _ in 0..copies {
                     for (host, nic) in &receivers {
                         let rctx = ctx.with_host(*host);
-                        nic.deliver_up(&rctx, payload.clone())?;
+                        nic.deliver_up(&rctx, next_copy())?;
                     }
                 }
             }
@@ -320,7 +352,7 @@ impl SimNet {
                     let at = arrival + copy as u64 * tx;
                     for (host, nic) in &receivers {
                         let nic = Arc::clone(nic);
-                        let m = payload.clone();
+                        let m = next_copy();
                         ctx.schedule_run_at(
                             at,
                             *host,

@@ -225,5 +225,5 @@ pub mod prelude {
         ControlOp, ControlRes, ProtoId, Protocol, ProtocolRef, Session, SessionRef,
     };
     pub use crate::sim::{Ctx, HostId, HostStats, Mode, RobustEvent, SharedSema, Sim, TimerHandle};
-    pub use crate::wire::{internet_checksum, WireReader, WireWriter};
+    pub use crate::wire::{internet_checksum, ChecksumAcc, WireReader, WireWriter};
 }

@@ -48,6 +48,7 @@ pub mod graph;
 pub mod kernel;
 pub mod lint;
 pub mod msg;
+pub mod par;
 pub mod proto;
 pub mod shim;
 pub mod sim;

@@ -219,6 +219,31 @@ impl Message {
         usize::from(self.front.len() > 0) + self.rope.len()
     }
 
+    /// Visits every byte of the message in order as borrowed slices — the
+    /// front buffer first, then each rope segment — without materializing a
+    /// contiguous copy. This is the hot-path alternative to
+    /// [`Message::to_vec`] for consumers that can fold over chunks
+    /// (checksums, hashing, wire framing).
+    pub fn for_each_segment(&self, mut f: impl FnMut(&[u8])) {
+        if self.front.len() > 0 {
+            f(self.front.bytes());
+        }
+        for seg in &self.rope {
+            if seg.len() > 0 {
+                f(seg.bytes());
+            }
+        }
+    }
+
+    /// Converts the owned front buffer into a reference-counted segment so
+    /// that subsequent `clone`s share every byte instead of copying the
+    /// front. One copy of the valid front bytes happens here (never the
+    /// unused headroom); after that, fan-out paths that deliver the same
+    /// frame to many receivers are pure `Arc` bumps.
+    pub fn share(&mut self) {
+        self.freeze();
+    }
+
     fn demote_front(&mut self) {
         if self.front.len() > 0 {
             let seg = Segment::from_vec(self.front.bytes().to_vec());

@@ -198,7 +198,6 @@ enum EvKind {
 enum RunState {
     Running,
     Blocked,
-    Done,
     /// The host crashed while this process was blocked; its shepherd thread
     /// unwinds via [`CrashKill`] the next time its condvar is signalled.
     Killed,
@@ -235,12 +234,19 @@ struct Sched {
     next_lp: u64,
     current: Option<LpId>,
     idle_workers: Vec<Arc<WorkerSlot>>,
-    host_cpu: Vec<Time>,
-    host_down: Vec<bool>,
-    host_epoch: Vec<u32>,
-    host_stats: Vec<HostStats>,
     executed: u64,
     panics: Vec<String>,
+}
+
+/// Per-host clocks and counters, split out of [`Sched`] so the hot charging
+/// path ([`Ctx::charge`], [`Ctx::now`], [`Ctx::note`]) never contends with
+/// the event queue. Lock order where both are needed: `sched` before
+/// `hosts`.
+struct Hosts {
+    cpu: Vec<Time>,
+    down: Vec<bool>,
+    epoch: Vec<u32>,
+    stats: Vec<HostStats>,
 }
 
 struct TraceBuf {
@@ -255,6 +261,7 @@ pub struct SimCore {
     policy: HeaderPolicy,
     sched: Mutex<Sched>,
     sched_cv: Condvar,
+    hosts: Mutex<Hosts>,
     kernels: RwLock<Vec<Arc<Kernel>>>,
     rng: Mutex<u64>,
     trace: Mutex<TraceBuf>,
@@ -283,14 +290,16 @@ impl Sim {
                     next_lp: 0,
                     current: None,
                     idle_workers: Vec::new(),
-                    host_cpu: Vec::new(),
-                    host_down: Vec::new(),
-                    host_epoch: Vec::new(),
-                    host_stats: Vec::new(),
                     executed: 0,
                     panics: Vec::new(),
                 }),
                 sched_cv: Condvar::new(),
+                hosts: Mutex::new(Hosts {
+                    cpu: Vec::new(),
+                    down: Vec::new(),
+                    epoch: Vec::new(),
+                    stats: Vec::new(),
+                }),
                 kernels: RwLock::new(Vec::new()),
                 rng: Mutex::new(cfg.seed | 1),
                 trace: Mutex::new(TraceBuf {
@@ -316,11 +325,11 @@ impl Sim {
         let mut ks = self.core.kernels.write();
         let id = HostId(ks.len());
         ks.push(Arc::clone(k));
-        let mut g = self.core.sched.lock();
-        g.host_cpu.push(0);
-        g.host_down.push(false);
-        g.host_epoch.push(0);
-        g.host_stats.push(HostStats::default());
+        let mut h = self.core.hosts.lock();
+        h.cpu.push(0);
+        h.down.push(false);
+        h.epoch.push(0);
+        h.stats.push(HostStats::default());
         id
     }
 
@@ -402,17 +411,17 @@ impl Sim {
 
     /// Robustness counters for `host` (also in [`RunReport::hosts`]).
     pub fn host_stats(&self, host: HostId) -> HostStats {
-        self.core.sched.lock().host_stats[host.0]
+        self.core.hosts.lock().stats[host.0]
     }
 
     /// How many times `host` has restarted (0 until its first restart).
     pub fn boot_epoch(&self, host: HostId) -> u32 {
-        self.core.sched.lock().host_epoch[host.0]
+        self.core.hosts.lock().epoch[host.0]
     }
 
     /// Whether `host` is currently crashed.
     pub fn is_down(&self, host: HostId) -> bool {
-        self.core.sched.lock().host_down[host.0]
+        self.core.hosts.lock().down[host.0]
     }
 
     /// Runs queued events until none remain. Scheduled mode only.
@@ -429,109 +438,15 @@ impl Sim {
         );
         let core = &self.core;
         let mut g = core.sched.lock();
-        loop {
-            // Pop the next live event.
-            let next = loop {
-                match g.heap.pop() {
-                    None => break None,
-                    Some(std::cmp::Reverse((t, seq))) => {
-                        if g.events.contains_key(&seq) {
-                            break Some((t, seq));
-                        }
-                        // Cancelled; skip.
-                    }
-                }
-            };
-            let (t, seq) = match next {
-                Some(x) => x,
-                None => break,
-            };
-            g.now = t;
-            g.executed += 1;
-            let kind = g.events.remove(&seq).expect("event checked present");
-            match kind {
-                EvKind::Run { host, f } => {
-                    if g.host_down[host.0] {
-                        continue; // Scheduled before the crash; dies with it.
-                    }
-                    let cpu = &mut g.host_cpu[host.0];
-                    *cpu = (*cpu).max(t);
-                    g = dispatch_lp(core, g, host, f);
-                }
-                EvKind::Crash { host } => {
-                    if g.host_down[host.0] {
-                        continue; // Already down.
-                    }
-                    g.host_down[host.0] = true;
-                    g.host_stats[host.0].crashes += 1;
-                    // In-flight deliveries, timers, and spawned runs on the
-                    // host die with it, as do pending wakes for its
-                    // processes. Crash/Restart events survive — a scheduled
-                    // restart must not be purged by its own crash.
-                    let Sched { events, lps, .. } = &mut *g;
-                    let dead: Vec<u64> = events
-                        .iter()
-                        .filter(|(_, k)| match k {
-                            EvKind::Run { host: h, .. } => *h == host,
-                            EvKind::Wake { lp, .. } => {
-                                lps.get(&lp.0).is_some_and(|s| s.host == host)
-                            }
-                            _ => false,
-                        })
-                        .map(|(s, _)| *s)
-                        .collect();
-                    for s in dead {
-                        events.remove(&s);
-                    }
-                    // Blocked processes on the host are killed: their
-                    // shepherd threads unwind (via a filtered panic) the
-                    // next time their condvar is signalled.
-                    for st in lps.values_mut() {
-                        if st.host == host && st.state == RunState::Blocked {
-                            st.state = RunState::Killed;
-                            st.cv.notify_one();
-                        }
-                    }
-                }
-                EvKind::Restart { host } => {
-                    if !g.host_down[host.0] {
-                        continue; // Not down; nothing to restart.
-                    }
-                    g.host_down[host.0] = false;
-                    g.host_epoch[host.0] += 1;
-                    g.host_stats[host.0].restarts += 1;
-                    let cpu = &mut g.host_cpu[host.0];
-                    *cpu = (*cpu).max(t);
-                    // The kernel reboots as a fresh shepherd process, giving
-                    // every protocol its reboot hook.
-                    let f: Thunk = Box::new(move |ctx: &Ctx| {
-                        if let Err(e) = ctx.kernel().reboot_protocols(ctx) {
-                            panic!("reboot failed on host {}: {e}", ctx.host().0);
-                        }
-                    });
-                    g = dispatch_lp(core, g, host, f);
-                }
-                EvKind::Wake { lp, reason } => {
-                    let Some(st) = g.lps.get_mut(&lp.0) else {
-                        continue; // Process already gone; stale wake.
-                    };
-                    if st.state != RunState::Blocked {
-                        continue; // Stale wake; cancellation should prevent this.
-                    }
-                    let host = st.host;
-                    st.state = RunState::Running;
-                    st.wake_reason = reason;
-                    let cv = Arc::clone(&st.cv);
-                    g.current = Some(lp);
-                    let switch = core.cost.proc_switch;
-                    let cpu = &mut g.host_cpu[host.0];
-                    *cpu = (*cpu).max(t) + switch;
-                    cv.notify_one();
-                    while g.current.is_some() {
-                        core.sched_cv.wait(&mut g);
-                    }
-                }
-            }
+        // Seed the run: process events until the token is handed to a
+        // worker (or the queue is already empty). From then on the workers
+        // drive the event loop themselves — each yielding worker advances
+        // it directly — and this thread sleeps until the run drains.
+        if let Next::Task(task) = advance(core, &mut g) {
+            hand_to_worker(core, &mut g, task);
+        }
+        while g.current.is_some() || !g.events.is_empty() {
+            core.sched_cv.wait(&mut g);
         }
         let blocked = g
             .lps
@@ -542,7 +457,7 @@ impl Sim {
             ended_at: g.now,
             events: g.executed,
             blocked,
-            hosts: g.host_stats.clone(),
+            hosts: core.hosts.lock().stats.clone(),
         };
         let panic = g.panics.first().cloned();
         drop(g);
@@ -554,7 +469,7 @@ impl Sim {
 
     /// Virtual CPU time of `host`.
     pub fn now_of(&self, host: HostId) -> Time {
-        self.core.sched.lock().host_cpu[host.0]
+        self.core.hosts.lock().cpu[host.0]
     }
 
     /// Global virtual time (time of the last processed event).
@@ -578,15 +493,145 @@ impl Sim {
     }
 }
 
-/// Hands `f` to a worker thread as a new shepherd process on `host` and
-/// waits for it to yield (block or finish). Takes and returns the scheduler
-/// guard; released only while the process actually runs.
-fn dispatch_lp<'a>(
-    core: &'a Arc<SimCore>,
-    mut g: parking_lot::MutexGuard<'a, Sched>,
-    host: HostId,
-    f: Thunk,
-) -> parking_lot::MutexGuard<'a, Sched> {
+/// What the event loop decided after [`advance`] processed events.
+enum Next {
+    /// A fresh shepherd process must run; the caller either runs it on its
+    /// own stack (a worker that just finished) or hands it to an idle
+    /// worker. The run token (`current`) is already set to the new process.
+    Task(Task),
+    /// The token was handed to a woken blocked process (its condvar has
+    /// been signalled — possibly the caller itself); stop advancing.
+    Yield,
+    /// No live events remain; `sched_cv` has been notified so
+    /// [`Sim::run_until_idle`] can observe the drained state.
+    Drained,
+}
+
+/// Drives the event loop forward: pops live events in deterministic order
+/// and processes them until the run token is claimed or the queue drains.
+/// Must be called with the token free (`current == None`). Any yielding
+/// thread may call this — the direct-handoff fast path — so a finished
+/// worker starts the next process without bouncing through the scheduler
+/// thread, and a blocking process whose own wake is next resumes with no
+/// condvar traffic at all.
+fn advance(core: &Arc<SimCore>, g: &mut parking_lot::MutexGuard<'_, Sched>) -> Next {
+    loop {
+        // Pop the next live event.
+        let next = loop {
+            match g.heap.pop() {
+                None => break None,
+                Some(std::cmp::Reverse((t, seq))) => {
+                    if g.events.contains_key(&seq) {
+                        break Some((t, seq));
+                    }
+                    // Cancelled; skip.
+                }
+            }
+        };
+        let Some((t, seq)) = next else {
+            core.sched_cv.notify_one();
+            return Next::Drained;
+        };
+        g.now = t;
+        g.executed += 1;
+        let kind = g.events.remove(&seq).expect("event checked present");
+        match kind {
+            EvKind::Run { host, f } => {
+                {
+                    let mut h = core.hosts.lock();
+                    if h.down[host.0] {
+                        continue; // Scheduled before the crash; dies with it.
+                    }
+                    let cpu = &mut h.cpu[host.0];
+                    *cpu = (*cpu).max(t);
+                }
+                return Next::Task(new_lp(g, host, f));
+            }
+            EvKind::Crash { host } => {
+                {
+                    let mut h = core.hosts.lock();
+                    if h.down[host.0] {
+                        continue; // Already down.
+                    }
+                    h.down[host.0] = true;
+                    h.stats[host.0].crashes += 1;
+                }
+                // In-flight deliveries, timers, and spawned runs on the
+                // host die with it, as do pending wakes for its
+                // processes. Crash/Restart events survive — a scheduled
+                // restart must not be purged by its own crash.
+                let Sched { events, lps, .. } = &mut **g;
+                let dead: Vec<u64> = events
+                    .iter()
+                    .filter(|(_, k)| match k {
+                        EvKind::Run { host: h, .. } => *h == host,
+                        EvKind::Wake { lp, .. } => lps.get(&lp.0).is_some_and(|s| s.host == host),
+                        _ => false,
+                    })
+                    .map(|(s, _)| *s)
+                    .collect();
+                for s in dead {
+                    events.remove(&s);
+                }
+                // Blocked processes on the host are killed: their
+                // shepherd threads unwind (via a filtered panic) the
+                // next time their condvar is signalled.
+                for st in lps.values_mut() {
+                    if st.host == host && st.state == RunState::Blocked {
+                        st.state = RunState::Killed;
+                        st.cv.notify_one();
+                    }
+                }
+            }
+            EvKind::Restart { host } => {
+                {
+                    let mut h = core.hosts.lock();
+                    if !h.down[host.0] {
+                        continue; // Not down; nothing to restart.
+                    }
+                    h.down[host.0] = false;
+                    h.epoch[host.0] += 1;
+                    h.stats[host.0].restarts += 1;
+                    let cpu = &mut h.cpu[host.0];
+                    *cpu = (*cpu).max(t);
+                }
+                // The kernel reboots as a fresh shepherd process, giving
+                // every protocol its reboot hook.
+                let f: Thunk = Box::new(move |ctx: &Ctx| {
+                    if let Err(e) = ctx.kernel().reboot_protocols(ctx) {
+                        panic!("reboot failed on host {}: {e}", ctx.host().0);
+                    }
+                });
+                return Next::Task(new_lp(g, host, f));
+            }
+            EvKind::Wake { lp, reason } => {
+                let Some(st) = g.lps.get_mut(&lp.0) else {
+                    continue; // Process already gone; stale wake.
+                };
+                if st.state != RunState::Blocked {
+                    continue; // Stale wake; cancellation should prevent this.
+                }
+                let host = st.host;
+                st.state = RunState::Running;
+                st.wake_reason = reason;
+                let cv = Arc::clone(&st.cv);
+                g.current = Some(lp);
+                {
+                    let switch = core.cost.proc_switch;
+                    let mut h = core.hosts.lock();
+                    let cpu = &mut h.cpu[host.0];
+                    *cpu = (*cpu).max(t) + switch;
+                }
+                cv.notify_one();
+                return Next::Yield;
+            }
+        }
+    }
+}
+
+/// Registers a fresh logical process (ids allocated in event order, which
+/// determinism depends on) and claims the run token for it.
+fn new_lp(g: &mut parking_lot::MutexGuard<'_, Sched>, host: HostId, f: Thunk) -> Task {
     let lp = LpId(g.next_lp);
     g.next_lp += 1;
     g.lps.insert(
@@ -599,18 +644,19 @@ fn dispatch_lp<'a>(
         },
     );
     g.current = Some(lp);
+    Task { lp, host, f }
+}
+
+/// Places `task` on an idle worker (spawning one only when the pool is
+/// empty). Used by callers that cannot run the task on their own stack —
+/// the scheduler thread and blocked processes.
+fn hand_to_worker(core: &Arc<SimCore>, g: &mut parking_lot::MutexGuard<'_, Sched>, task: Task) {
     let slot = g
         .idle_workers
         .pop()
         .unwrap_or_else(|| spawn_worker(Arc::clone(core)));
-    drop(g);
-    *slot.m.lock() = Some(Task { lp, host, f });
+    *slot.m.lock() = Some(task);
     slot.cv.notify_one();
-    let mut g = core.sched.lock();
-    while g.current.is_some() {
-        core.sched_cv.wait(&mut g);
-    }
-    g
 }
 
 /// Installs (once, process-wide) a panic hook that silences the
@@ -644,7 +690,7 @@ fn spawn_worker(core: Arc<SimCore>) -> Arc<WorkerSlot> {
 
 fn worker_main(core: Arc<SimCore>, slot: Arc<WorkerSlot>) {
     loop {
-        let task = {
+        let mut task = {
             let mut m = slot.m.lock();
             loop {
                 if let Some(t) = m.take() {
@@ -653,38 +699,47 @@ fn worker_main(core: Arc<SimCore>, slot: Arc<WorkerSlot>) {
                 slot.cv.wait(&mut m);
             }
         };
-        let ctx = Ctx {
-            core: Arc::clone(&core),
-            host: task.host,
-            lp: Some(task.lp),
-        };
-        let lp = task.lp;
-        let result = catch_unwind(AssertUnwindSafe(move || (task.f)(&ctx)));
-        let mut g = core.sched.lock();
-        if let Err(p) = result {
-            // A CrashKill unwind is the normal death of a process whose
-            // host crashed, not a failure.
-            if !p.is::<CrashKill>() {
-                let text = p
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| p.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "non-string panic payload".into());
-                g.panics.push(text);
+        // Run tasks back to back: when the next event is a fresh process,
+        // this worker executes it on its own stack instead of parking and
+        // being woken again — the forced-choice direct handoff.
+        loop {
+            let ctx = Ctx {
+                core: Arc::clone(&core),
+                host: task.host,
+                lp: Some(task.lp),
+            };
+            let lp = task.lp;
+            let f = task.f;
+            let result = catch_unwind(AssertUnwindSafe(move || f(&ctx)));
+            let mut g = core.sched.lock();
+            if let Err(p) = result {
+                // A CrashKill unwind is the normal death of a process whose
+                // host crashed, not a failure.
+                if !p.is::<CrashKill>() {
+                    let text = p
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| p.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".into());
+                    g.panics.push(text);
+                }
             }
+            g.lps.remove(&lp.0);
+            // A killed process unwinds asynchronously, after the event loop
+            // has moved on: it does not hold the run token, so it must not
+            // clear `current` or advance — it just parks.
+            let owned = g.current == Some(lp);
+            if owned {
+                g.current = None;
+                if let Next::Task(t) = advance(&core, &mut g) {
+                    drop(g);
+                    task = t;
+                    continue;
+                }
+            }
+            g.idle_workers.push(Arc::clone(&slot));
+            break;
         }
-        if let Some(st) = g.lps.get_mut(&lp.0) {
-            st.state = RunState::Done;
-        }
-        g.lps.remove(&lp.0);
-        // A killed process unwinds asynchronously, after the scheduler has
-        // moved on: only clear `current` if it is still ours.
-        if g.current == Some(lp) {
-            g.current = None;
-        }
-        g.idle_workers.push(Arc::clone(&slot));
-        drop(g);
-        core.sched_cv.notify_one();
     }
 }
 
@@ -739,22 +794,23 @@ impl Ctx {
         if self.core.mode == Mode::Inline {
             return 0;
         }
-        self.core.sched.lock().host_cpu[self.host.0]
+        self.core.hosts.lock().cpu[self.host.0]
     }
 
     /// Charges `ns` of virtual CPU time to this host. No-op in inline mode.
+    /// Touches only the host-clock lock, never the event queue.
     pub fn charge(&self, ns: Nanos) {
         if self.core.mode == Mode::Inline || ns == 0 {
             return;
         }
-        self.core.sched.lock().host_cpu[self.host.0] += ns;
+        self.core.hosts.lock().cpu[self.host.0] += ns;
     }
 
     /// Records a robustness event against this context's host. The per-host
     /// tallies surface in [`RunReport::hosts`].
     pub fn note(&self, ev: RobustEvent) {
-        let mut g = self.core.sched.lock();
-        let Some(s) = g.host_stats.get_mut(self.host.0) else {
+        let mut h = self.core.hosts.lock();
+        let Some(s) = h.stats.get_mut(self.host.0) else {
             return;
         };
         match ev {
@@ -769,9 +825,9 @@ impl Ctx {
     /// [`Sim::restart`].
     pub fn boot_epoch(&self) -> u32 {
         self.core
-            .sched
+            .hosts
             .lock()
-            .host_epoch
+            .epoch
             .get(self.host.0)
             .copied()
             .unwrap_or(0)
@@ -819,7 +875,7 @@ impl Ctx {
         if self.core.mode == Mode::Scheduled {
             let copied = popped.stats().copied as u64;
             if copied > 0 {
-                self.core.sched.lock().host_cpu[self.host.0] += copied * self.core.cost.copy_byte;
+                self.core.hosts.lock().cpu[self.host.0] += copied * self.core.cost.copy_byte;
             }
         }
         Ok(popped)
@@ -842,11 +898,15 @@ impl Ctx {
     /// The timestamp outgoing actions of this context carry: the host CPU
     /// clock when inside a process, else the global event clock.
     pub fn event_time(&self) -> Time {
-        let g = self.core.sched.lock();
         if self.lp.is_some() {
-            g.host_cpu[self.host.0]
+            // Inside a process the host clock alone decides; skip the
+            // scheduler lock entirely (hot path for timers and sends).
+            self.core.hosts.lock().cpu[self.host.0]
         } else {
-            g.now.max(g.host_cpu[self.host.0])
+            let g = self.core.sched.lock();
+            let now = g.now;
+            drop(g);
+            now.max(self.core.hosts.lock().cpu[self.host.0])
         }
     }
 
@@ -860,7 +920,15 @@ impl Ctx {
             "absolute scheduling requires virtual time"
         );
         let mut g = self.core.sched.lock();
-        if g.host_down.get(host.0).copied().unwrap_or(false) {
+        if self
+            .core
+            .hosts
+            .lock()
+            .down
+            .get(host.0)
+            .copied()
+            .unwrap_or(false)
+        {
             // A crashed host arms no timers and accepts no deliveries; the
             // work is silently dropped, exactly as its in-flight state was.
             return TimerHandle::NONE;
@@ -916,20 +984,31 @@ impl Ctx {
         st.state = RunState::Blocked;
         let cv = Arc::clone(&st.cv);
         g.current = None;
-        self.core.sched_cv.notify_one();
+        // Drive the event loop from this thread before sleeping. The common
+        // next event is this very process's wake (a queued reply, a sleep
+        // timer), in which case `advance` marks us Running and the
+        // check-before-wait loop below returns without a single condvar
+        // operation — the double bounce through the scheduler is gone.
+        if let Next::Task(t) = advance(&self.core, &mut g) {
+            // The next event needs a fresh process but this stack is parked
+            // inside a protocol: hand it to an idle worker.
+            hand_to_worker(&self.core, &mut g, t);
+        }
         loop {
-            cv.wait(&mut g);
-            let st = g.lps.get(&lp.0).expect("blocked process cannot vanish");
-            match st.state {
-                RunState::Running => return st.wake_reason,
-                RunState::Killed => {
-                    // Host crashed while we were blocked: unwind this
-                    // process. worker_main recognises the payload.
-                    drop(g);
-                    panic_any(CrashKill);
+            {
+                let st = g.lps.get(&lp.0).expect("blocked process cannot vanish");
+                match st.state {
+                    RunState::Running => return st.wake_reason,
+                    RunState::Killed => {
+                        // Host crashed while we were blocked: unwind this
+                        // process. worker_main recognises the payload.
+                        drop(g);
+                        panic_any(CrashKill);
+                    }
+                    _ => {}
                 }
-                _ => {}
             }
+            cv.wait(&mut g);
         }
     }
 
@@ -999,7 +1078,7 @@ impl Ctx {
         if self.core.mode == Mode::Inline {
             0
         } else {
-            self.core.sched.lock().host_cpu[self.host.0]
+            self.core.hosts.lock().cpu[self.host.0]
         }
     }
 }

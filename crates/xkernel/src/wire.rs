@@ -7,6 +7,7 @@
 
 use crate::addr::{EthAddr, IpAddr};
 use crate::error::{XError, XResult};
+use crate::msg::Message;
 
 /// Serializes header fields in network byte order.
 #[derive(Debug, Default)]
@@ -175,6 +176,75 @@ pub fn internet_checksum(chunks: &[&[u8]]) -> u16 {
     !(sum as u16)
 }
 
+/// Incremental Internet checksum over a *byte stream* fed in arbitrary
+/// chunks. Unlike [`internet_checksum`], which zero-pads each odd-length
+/// chunk independently, this accumulator carries an odd trailing byte into
+/// the next chunk, so folding a message segment-by-segment yields exactly
+/// the checksum of the concatenated bytes — however the rope happens to be
+/// split. This is what lets UDP/TCP checksum a [`Message`] without ever
+/// materializing a contiguous copy.
+///
+/// Feed even-length prefix chunks (pseudo-header, protocol header) with
+/// [`ChecksumAcc::add`], the payload with [`ChecksumAcc::add_message`], and
+/// read the ones-complement result with [`ChecksumAcc::finish`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChecksumAcc {
+    sum: u64,
+    /// The high byte of a 16-bit word whose low byte arrives in a later
+    /// chunk (set iff an odd number of bytes has been absorbed so far).
+    pending: Option<u8>,
+}
+
+impl ChecksumAcc {
+    /// A fresh accumulator (sum 0, no half-word pending).
+    pub fn new() -> ChecksumAcc {
+        ChecksumAcc::default()
+    }
+
+    /// Absorbs `data`, pairing any byte left over from the previous chunk.
+    pub fn add(&mut self, mut data: &[u8]) {
+        if let Some(hi) = self.pending.take() {
+            match data.first() {
+                Some(&lo) => {
+                    self.sum += u64::from(u16::from_be_bytes([hi, lo]));
+                    data = &data[1..];
+                }
+                None => {
+                    self.pending = Some(hi);
+                    return;
+                }
+            }
+        }
+        let mut i = 0;
+        while i + 1 < data.len() {
+            self.sum += u64::from(u16::from_be_bytes([data[i], data[i + 1]]));
+            i += 2;
+        }
+        if i < data.len() {
+            self.pending = Some(data[i]);
+        }
+    }
+
+    /// Absorbs every byte of `msg` in order, borrowing each segment.
+    pub fn add_message(&mut self, msg: &Message) {
+        msg.for_each_segment(|seg| self.add(seg));
+    }
+
+    /// Folds and complements: the value to place in (or compare against)
+    /// a checksum field. A trailing odd byte is zero-padded, as RFC 1071
+    /// prescribes for the end of the data.
+    pub fn finish(self) -> u16 {
+        let mut sum = self.sum;
+        if let Some(hi) = self.pending {
+            sum += u64::from(u16::from_be_bytes([hi, 0]));
+        }
+        while sum >> 16 != 0 {
+            sum = (sum & 0xffff) + (sum >> 16);
+        }
+        !(sum as u16)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,5 +304,86 @@ mod tests {
         let b = [5u8, 6, 7, 8];
         let joined = [1u8, 2, 3, 4, 5, 6, 7, 8];
         assert_eq!(internet_checksum(&[&a, &b]), internet_checksum(&[&joined]));
+    }
+
+    fn stream(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 37 % 251) as u8).collect()
+    }
+
+    fn acc_over_chunks(chunks: &[&[u8]]) -> u16 {
+        let mut acc = ChecksumAcc::new();
+        for c in chunks {
+            acc.add(c);
+        }
+        acc.finish()
+    }
+
+    #[test]
+    fn acc_matches_contiguous_at_every_split_point() {
+        // Odd and even splits, odd and even total lengths: the accumulator
+        // must carry the half-word across the boundary, which the
+        // chunk-padding internet_checksum deliberately does not.
+        for total in [8usize, 9, 64, 65] {
+            let data = stream(total);
+            let whole = internet_checksum(&[&data]);
+            for at in 0..=total {
+                let (l, r) = data.split_at(at);
+                assert_eq!(acc_over_chunks(&[l, r]), whole, "split at {at} of {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn acc_handles_empty_and_single_byte_chunks() {
+        let data = stream(11);
+        let whole = internet_checksum(&[&data]);
+        // All-singleton feed, with empty chunks interleaved (including one
+        // arriving while a half-word is pending).
+        let mut acc = ChecksumAcc::new();
+        for (i, b) in data.iter().enumerate() {
+            acc.add(&[]);
+            acc.add(std::slice::from_ref(b));
+            if i % 3 == 0 {
+                acc.add(&[]);
+            }
+        }
+        assert_eq!(acc.finish(), whole);
+        assert_eq!(acc_over_chunks(&[]), internet_checksum(&[]));
+    }
+
+    #[test]
+    fn acc_folds_message_segments_like_contiguous_bytes() {
+        // Build messages whose ropes are split at odd offsets via headers,
+        // split_off/append, and partial pops; the segment fold must always
+        // equal the checksum of to_vec().
+        let mut m = Message::from_user(stream(1000));
+        m.push_header(&stream(7)); // Odd-length front.
+        let tail = m.split_off(333).unwrap(); // Odd split inside the rope.
+        m.append(tail);
+        let _ = m.pop_header(3).unwrap(); // Partial pop leaves odd offset.
+        let mut popped_to_empty = Message::from_user(stream(5));
+        let _ = popped_to_empty.pop_header(5).unwrap(); // Now empty.
+        m.append(popped_to_empty); // Appending empties is harmless.
+
+        let mut seg_count = 0;
+        m.for_each_segment(|_| seg_count += 1);
+        assert!(seg_count >= 2, "rope must actually be fragmented");
+
+        let contiguous = m.to_vec();
+        let mut acc = ChecksumAcc::new();
+        acc.add_message(&m);
+        assert_eq!(acc.finish(), internet_checksum(&[&contiguous]));
+
+        // And with even prefix chunks in front (the pseudo-header shape).
+        let pseudo = stream(12);
+        let hdr = stream(8);
+        let mut acc = ChecksumAcc::new();
+        acc.add(&pseudo);
+        acc.add(&hdr);
+        acc.add_message(&m);
+        assert_eq!(
+            acc.finish(),
+            internet_checksum(&[&pseudo, &hdr, &contiguous])
+        );
     }
 }
