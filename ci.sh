@@ -45,6 +45,47 @@ grep -q '"reports_bit_identical": true' "$BENCH_SMOKE" || {
 }
 rm -f "$BENCH_SMOKE"
 
+echo "==> profile-smoke: xbench xprof --quick"
+# Traced rerun of the Table I/II latency experiment. The binary asserts the
+# ledger's conservation invariant (client buckets sum to the window to the
+# nanosecond) and that tracing leaves the measured latency bit-identical,
+# then self-validates the JSON. The checks below re-verify the artifacts
+# from the outside: required JSON fields, the conserved flags, and the
+# folded-stack grammar ("frame;frame;... <ns>" on every line).
+XPROF_DIR=$(mktemp -d /tmp/xprof.XXXXXX)
+cargo run --release -q -p xbench --bin xprof -- --quick --out-dir "$XPROF_DIR"
+for field in schema quick iters stacks latency_ns window_ns client_sum_ns \
+             conserved layers; do
+    if ! grep -q "\"$field\"" "$XPROF_DIR/BENCH_xprof.json"; then
+        echo "ci: BENCH_xprof.json missing field \"$field\"" >&2
+        exit 1
+    fi
+done
+if grep -q '"conserved": false' "$XPROF_DIR/BENCH_xprof.json"; then
+    echo "ci: xprof ledger leaked (conserved: false)" >&2
+    exit 1
+fi
+[ "$(grep -c '"conserved": true' "$XPROF_DIR/BENCH_xprof.json")" -eq 5 ] || {
+    echo "ci: expected 5 conserved stacks in BENCH_xprof.json" >&2
+    exit 1
+}
+[ -s "$XPROF_DIR/XPROF.folded" ] || {
+    echo "ci: XPROF.folded is empty" >&2
+    exit 1
+}
+if grep -qvE '^[^ ;][^ ]*(;[^ ]+)+ [0-9]+$' "$XPROF_DIR/XPROF.folded"; then
+    echo "ci: XPROF.folded has malformed lines" >&2
+    exit 1
+fi
+grep -q '^## ' "$XPROF_DIR/XPROF.md" || {
+    echo "ci: XPROF.md has no per-stack sections" >&2
+    exit 1
+}
+rm -rf "$XPROF_DIR"
+
+echo "==> trace-overhead smoke: disabled tracing allocates nothing"
+cargo test -q -p xkernel --test trace_overhead
+
 echo "==> xk-lint: built-in paper stacks"
 XK_LINT=target/release/xk-lint
 "$XK_LINT" --builtin --warn-as-error

@@ -83,6 +83,80 @@ pub fn rpc_latency(stack: &StackDef) -> u64 {
     v
 }
 
+/// Results of one traced latency run: the headline window plus the
+/// per-layer cost ledger scoped to exactly that window.
+#[derive(Clone, Debug)]
+pub struct TracedLatency {
+    /// Average null-RPC round trip, ns (same definition as
+    /// [`rpc_latency`]).
+    pub latency_ns: u64,
+    /// The whole measured window (`iters` calls), ns.
+    pub window_ns: u64,
+    /// Iterations measured.
+    pub iters: usize,
+    /// Client host (the one whose clock defines the window).
+    pub client: HostId,
+    /// Server host.
+    pub server: HostId,
+    /// Per-layer cost ledger for the window. By the conservation
+    /// invariant, `breakdown.host_total(client) == window_ns` exactly.
+    pub breakdown: CostBreakdown,
+    /// Flamegraph-compatible folded stacks for the same window.
+    pub folded: Vec<FoldedLine>,
+}
+
+/// Runs the null-RPC latency experiment with structured tracing enabled
+/// and returns the per-layer decomposition of the measured window.
+///
+/// Tracing observes charges but never adds any, so `window_ns / iters`
+/// is bit-identical to [`rpc_latency`] — the goldens pin both.
+pub fn rpc_latency_traced(stack: &StackDef, iters: usize) -> TracedLatency {
+    let tb = two_hosts(
+        SimConfig::scheduled().with_trace(),
+        &registry(),
+        stack.graph,
+    )
+    .expect("testbed builds");
+    xrpc::procs::register_standard(&tb.server, stack.entry).expect("procedures register");
+    let server_ip = tb.server_ip;
+    let entry = stack.entry;
+    let client = tb.client.host();
+    let server = tb.server.host();
+    let sim2 = tb.sim.clone();
+    type Captured = (u64, CostBreakdown, Vec<FoldedLine>);
+    let out: Arc<Mutex<Option<Captured>>> = Arc::new(Mutex::new(None));
+    let o2 = Arc::clone(&out);
+    tb.sim.spawn(client, move |ctx| {
+        let k = ctx.kernel();
+        for _ in 0..WARMUP_ITERS {
+            xrpc::call(ctx, &k, entry, server_ip, NULL_PROC, Vec::new()).unwrap();
+        }
+        // Scope the ledger to the measured window: everything before this
+        // point (boot, ARP, warmup) is discarded.
+        ctx.trace_clear();
+        let t0 = ctx.now();
+        for _ in 0..iters {
+            xrpc::call(ctx, &k, entry, server_ip, NULL_PROC, Vec::new()).unwrap();
+        }
+        let window = ctx.now() - t0;
+        // Capture the ledger *here*, before process teardown and the final
+        // scheduler drain can attribute anything past the window's end.
+        *o2.lock() = Some((window, ctx.cost_breakdown(), sim2.folded()));
+    });
+    let r = tb.sim.run_until_idle();
+    assert_eq!(r.blocked, 0, "traced latency run must drain");
+    let (window_ns, breakdown, folded) = out.lock().take().expect("client captured the window");
+    TracedLatency {
+        latency_ns: window_ns / iters as u64,
+        window_ns,
+        iters,
+        client,
+        server,
+        breakdown,
+        folded,
+    }
+}
+
 /// One throughput measurement: round trips of `size`-byte requests with
 /// null replies. Returns average ns per call.
 pub fn rpc_rtt_for_size(stack: &StackDef, size: usize, iters: usize) -> u64 {

@@ -1,0 +1,82 @@
+//! Golden guarantees for the xtrace cost ledger: the per-layer breakdown
+//! must *decompose* the headline Table I/II latencies, never perturb them.
+//!
+//! Two properties per stack:
+//!
+//! 1. **Conservation** — the client host's ledger buckets sum to exactly
+//!    the measured window (every charged nanosecond is attributed to some
+//!    `(layer, class)` bucket, and nothing else is).
+//! 2. **Non-interference** — the traced run's per-call latency is
+//!    bit-identical to the untraced [`xbench::rpc_latency`] the golden
+//!    tables pin, because tracing observes charges but never adds any.
+
+use xbench::{rpc_latency, rpc_latency_traced, LATENCY_ITERS};
+use xkernel::prelude::OpClass;
+use xrpc::stacks::ALL_RPC_STACKS;
+
+#[test]
+fn per_layer_breakdown_sums_to_headline_latency_for_every_stack() {
+    for stack in &ALL_RPC_STACKS {
+        let tr = rpc_latency_traced(stack, LATENCY_ITERS);
+        assert!(
+            !tr.breakdown.is_empty(),
+            "{}: traced run produced an empty ledger",
+            stack.name
+        );
+
+        // 1. Conservation: client buckets sum to the window, exactly.
+        let client_sum = tr.breakdown.host_total(tr.client);
+        assert_eq!(
+            client_sum, tr.window_ns,
+            "{}: client ledger ({client_sum} ns) must sum to the measured \
+             window ({} ns) to the nanosecond",
+            stack.name, tr.window_ns
+        );
+
+        // 2. Non-interference: per-call latency matches the untraced
+        //    golden measurement bit for bit.
+        let untraced = rpc_latency(stack);
+        assert_eq!(
+            tr.latency_ns, untraced,
+            "{}: tracing changed the measured latency",
+            stack.name
+        );
+
+        // The folded view is just another projection of the same ledger:
+        // same client total.
+        let folded_client: u64 = tr
+            .folded
+            .iter()
+            .filter(|l| l.host == tr.client)
+            .map(|l| l.ns)
+            .sum();
+        assert_eq!(
+            folded_client, tr.window_ns,
+            "{}: folded stacks must sum to the window too",
+            stack.name
+        );
+
+        // Sanity on the shape: a round trip spends time in layer calls and
+        // in the wire-idle class on the client.
+        assert!(
+            tr.breakdown.class_total(OpClass::LayerCall) > 0,
+            "{}: no layer-call cost attributed",
+            stack.name
+        );
+        assert!(
+            tr.breakdown
+                .entries
+                .iter()
+                .any(|e| e.host == tr.client && e.class == OpClass::Idle),
+            "{}: client must have idle (wire-wait) time",
+            stack.name
+        );
+
+        // The server did real attributed work in the window as well.
+        assert!(
+            tr.breakdown.host_total(tr.server) > 0,
+            "{}: no server cost attributed",
+            stack.name
+        );
+    }
+}

@@ -337,20 +337,40 @@ impl Scenario {
     /// Runs the scenario to completion and returns the report. Use
     /// [`Scenario::run_checked`] to also assert the invariants.
     pub fn run(&self) -> ChaosReport {
+        self.run_inner(false)
+    }
+
+    /// Runs the scenario with structured tracing enabled, so the returned
+    /// report's [`RunReport::breakdown`] carries the per-layer cost ledger
+    /// (and each host's final CPU clock in
+    /// [`xkernel::sim::HostStats::cpu_ns`]). Tracing observes charges but
+    /// never adds any, so the virtual-time outcome is bit-identical to
+    /// [`Scenario::run`].
+    pub fn run_traced(&self) -> ChaosReport {
+        self.run_inner(true)
+    }
+
+    fn run_inner(&self, trace: bool) -> ChaosReport {
         match self.stack {
-            StackKind::Paper(def) => self.run_rpc(RpcFlavor::Paper(def)),
-            StackKind::SunRpcUdp => self.run_rpc(RpcFlavor::SunRpc(
-                "request_reply -> udp\n\
+            StackKind::Paper(def) => self.run_rpc(RpcFlavor::Paper(def), trace),
+            StackKind::SunRpcUdp => self.run_rpc(
+                RpcFlavor::SunRpc(
+                    "request_reply -> udp\n\
                  auth: auth_unix uid=1000 machine=sun3 allow=1000 -> request_reply\n\
                  sunselect -> auth\n",
-            )),
-            StackKind::SunRpcChannel => self.run_rpc(RpcFlavor::SunRpc(
-                "vip -> ip eth arp\n\
+                ),
+                trace,
+            ),
+            StackKind::SunRpcChannel => self.run_rpc(
+                RpcFlavor::SunRpc(
+                    "vip -> ip eth arp\n\
                  fragment -> vip\n\
                  channel -> fragment\n\
                  sunselect -> channel\n",
-            )),
-            StackKind::Psync => self.run_psync(),
+                ),
+                trace,
+            ),
+            StackKind::Psync => self.run_psync(trace),
         }
     }
 
@@ -393,16 +413,15 @@ impl Scenario {
         }
     }
 
-    fn two_host_rig(&self, extra_graph: &str) -> TwoHosts {
+    fn two_host_rig(&self, extra_graph: &str, trace: bool) -> TwoHosts {
         let mut reg = base_registry();
         xrpc::register_ctors(&mut reg);
         sunrpc::register_ctors(&mut reg);
-        two_hosts(
-            SimConfig::scheduled().with_seed(self.seed),
-            &reg,
-            extra_graph,
-        )
-        .expect("chaos testbed builds")
+        let mut cfg = SimConfig::scheduled().with_seed(self.seed);
+        if trace {
+            cfg = cfg.with_trace();
+        }
+        two_hosts(cfg, &reg, extra_graph).expect("chaos testbed builds")
     }
 
     fn install_schedule(&self, tb: &TwoHosts) {
@@ -415,12 +434,12 @@ impl Scenario {
         tb.net.set_fault_schedule(tb.lan, sched);
     }
 
-    fn run_rpc(&self, flavor: RpcFlavor) -> ChaosReport {
+    fn run_rpc(&self, flavor: RpcFlavor, trace: bool) -> ChaosReport {
         let graph = match flavor {
             RpcFlavor::Paper(def) => def.graph,
             RpcFlavor::SunRpc(g) => g,
         };
-        let tb = self.two_host_rig(graph);
+        let tb = self.two_host_rig(graph, trace);
         let tally = Arc::new(Mutex::new(Tally::default()));
 
         // Server: a side-effecting procedure that verifies the request's
@@ -485,7 +504,7 @@ impl Scenario {
         self.report(run, tb.net.stats(tb.lan), &tally)
     }
 
-    fn run_psync(&self) -> ChaosReport {
+    fn run_psync(&self, trace: bool) -> ChaosReport {
         assert!(
             self.profile.is_lossless(),
             "{}: psync has no retransmission; only lossless profiles apply",
@@ -494,13 +513,12 @@ impl Scenario {
         let mut reg = base_registry();
         xrpc::register_ctors(&mut reg);
         psync::register_ctors(&mut reg);
-        let rig = lan_hosts(
-            SimConfig::scheduled().with_seed(self.seed),
-            &reg,
-            "vip -> ip eth arp\npsync -> vip\n",
-            2,
-        )
-        .expect("psync testbed builds");
+        let mut cfg = SimConfig::scheduled().with_seed(self.seed);
+        if trace {
+            cfg = cfg.with_trace();
+        }
+        let rig = lan_hosts(cfg, &reg, "vip -> ip eth arp\npsync -> vip\n", 2)
+            .expect("psync testbed builds");
         let (a_ip, b_ip) = (rig.ip_of(0), rig.ip_of(1));
         let open = |host: usize, peer: IpAddr| {
             let ctx = rig.sim.ctx(rig.kernels[host].host());

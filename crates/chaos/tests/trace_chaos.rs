@@ -1,0 +1,92 @@
+//! Chaos-scenario assertions over the xtrace cost ledger.
+//!
+//! The attribution machinery has to hold up under adversity, not just on
+//! the quiet measurement wire: faults trigger retransmission timers, crash
+//! paths, and scheduler churn, all of which mutate host clocks through
+//! different code paths. Two invariants:
+//!
+//! * **conservation under faults** — for every host, the traced ledger's
+//!   buckets sum to exactly the host's final CPU clock;
+//! * **determinism** — two traced runs of the same scenario produce
+//!   `Eq`-identical reports, breakdown included, and tracing never changes
+//!   the virtual-time outcome of the untraced run.
+
+use chaos::{Profile, Scenario, StackKind};
+use xkernel::prelude::HostId;
+use xrpc::stacks::{L_RPC_VIP, M_RPC_IP};
+
+fn assert_conserved(r: &chaos::ChaosReport) {
+    assert!(
+        !r.run.breakdown.is_empty(),
+        "{}: traced run produced no ledger",
+        r.label
+    );
+    for (h, stats) in r.run.hosts.iter().enumerate() {
+        let attributed = r.run.breakdown.host_total(HostId(h));
+        assert_eq!(
+            attributed, stats.cpu_ns,
+            "{}: host {h} ledger ({attributed} ns) must equal its final \
+             CPU clock ({} ns) — some charge path is unattributed",
+            r.label, stats.cpu_ns
+        );
+    }
+}
+
+#[test]
+fn ledger_conserves_under_loss_and_chaos() {
+    let scenarios = [
+        Scenario {
+            stack: StackKind::Paper(L_RPC_VIP),
+            profile: Profile::Lossy,
+            seed: 11,
+            calls: 4,
+        },
+        Scenario {
+            stack: StackKind::Paper(M_RPC_IP),
+            profile: Profile::Chaotic,
+            seed: 12,
+            calls: 4,
+        },
+        Scenario {
+            stack: StackKind::SunRpcChannel,
+            profile: Profile::Bursty,
+            seed: 13,
+            calls: 3,
+        },
+        Scenario {
+            stack: StackKind::Psync,
+            profile: Profile::Jittery,
+            seed: 14,
+            calls: 3,
+        },
+    ];
+    for sc in &scenarios {
+        let r = sc.run_traced();
+        sc.check(&r);
+        assert_conserved(&r);
+    }
+}
+
+#[test]
+fn traced_runs_are_deterministic_and_do_not_perturb_time() {
+    let sc = Scenario {
+        stack: StackKind::Paper(L_RPC_VIP),
+        profile: Profile::Partitioned,
+        seed: 21,
+        calls: 3,
+    };
+    let a = sc.run_traced();
+    let b = sc.run_traced();
+    assert_eq!(a, b, "same scenario, same seed: bit-identical reports");
+
+    // Tracing observes, never charges: the untraced run reaches the same
+    // virtual end time with the same event count and robustness counters.
+    let plain = sc.run_checked();
+    assert_eq!(a.run.ended_at, plain.run.ended_at);
+    assert_eq!(a.run.events, plain.run.events);
+    assert_eq!(a.lan, plain.lan);
+    assert_eq!(
+        (a.completed, a.executed, a.failed),
+        (plain.completed, plain.executed, plain.failed)
+    );
+}

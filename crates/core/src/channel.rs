@@ -441,7 +441,7 @@ impl Channel {
         msg: Message,
     ) -> XResult<()> {
         let pk = peer_key(ctx, lls)?;
-        ctx.charge(ctx.cost().demux_lookup);
+        ctx.charge_class(OpClass::Demux, ctx.cost().demux_lookup);
         let sess = {
             let mut servers = self.servers.lock();
             match servers.get(&(pk, hdr.channel, hdr.protocol_num)) {
@@ -450,7 +450,7 @@ impl Channel {
                     Arc::clone(s)
                 }
                 None => {
-                    ctx.charge(ctx.cost().session_create);
+                    ctx.charge_class(OpClass::SessionCreate, ctx.cost().session_create);
                     let s = Arc::new(ChanServerSession {
                         parent: self.self_arc(),
                         chan: hdr.channel,
@@ -572,16 +572,14 @@ impl Channel {
     }
 
     fn reply_or_ack_in(&self, ctx: &Ctx, hdr: ChannelHdr, msg: Message) -> XResult<()> {
-        ctx.charge(ctx.cost().demux_lookup);
+        ctx.charge_class(OpClass::Demux, ctx.cost().demux_lookup);
         let client = self
             .clients
             .lock()
             .get(&(hdr.channel, hdr.protocol_num))
             .cloned();
         let Some(client) = client else {
-            ctx.trace("channel", || {
-                format!("reply for unknown channel {}", hdr.channel)
-            });
+            ctx.trace_note("reply for unknown channel");
             return Ok(());
         };
         // Peer reincarnation check, *before* taking this client's state
@@ -589,9 +587,7 @@ impl Channel {
         // path may hold a session lock while acquiring the map's).
         let prev = self.tunables.peer_boot.swap(hdr.boot_id, Ordering::Relaxed);
         if prev != 0 && prev != hdr.boot_id {
-            ctx.trace("channel", || {
-                format!("peer rebooted (boot {prev:#x} -> {:#x})", hdr.boot_id)
-            });
+            ctx.trace_note("peer rebooted");
             // Sequence numbers and RTT history from the old incarnation
             // are meaningless; reset every channel not mid-exchange.
             for c in self.clients.lock().values() {
@@ -685,7 +681,7 @@ impl Protocol for Channel {
         if let Some(s) = self.clients.lock().get(&(chan, proto_num)) {
             return Ok(Arc::clone(s) as SessionRef);
         }
-        ctx.charge(ctx.cost().session_create);
+        ctx.charge_class(OpClass::SessionCreate, ctx.cost().session_create);
         let lname = self.lower_name.get().expect("channel booted");
         let lparts = ParticipantSet::pair(
             Participant::proto(rel_proto_num(lname, "channel")?),

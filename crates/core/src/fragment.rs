@@ -236,6 +236,16 @@ impl Fragment {
                 max: MAX_FRAGS * frag_size,
             });
         }
+        // The wire header carries the total length in a u16; over a lower
+        // layer with a huge MTU, 16 fragments can exceed 65535 bytes and the
+        // `as u16` encode would silently truncate, corrupting reassembly on
+        // the far side. Refuse such messages up front.
+        if msg.len() > u16::MAX as usize {
+            return Err(XError::TooBig {
+                size: msg.len(),
+                max: (u16::MAX as usize).min(MAX_FRAGS * frag_size),
+            });
+        }
         let seq = {
             let mut s = self.next_seq.lock();
             *s = s.wrapping_add(1);
@@ -243,7 +253,7 @@ impl Fragment {
         };
         self.counters.messages_sent.fetch_add(1, Ordering::Relaxed);
         // Sequence allocation + retained-copy bookkeeping.
-        ctx.charge(ctx.cost().demux_lookup);
+        ctx.charge_class(OpClass::Demux, ctx.cost().demux_lookup);
         let saved = Saved {
             msg,
             dst: peer,
@@ -279,7 +289,7 @@ impl Fragment {
         self.counters
             .messages_delivered
             .fetch_add(1, Ordering::Relaxed);
-        ctx.charge(ctx.cost().demux_lookup);
+        ctx.charge_class(OpClass::Demux, ctx.cost().demux_lookup);
         let upper = self
             .enables
             .lock()
@@ -291,7 +301,7 @@ impl Fragment {
             match cache.get(&(from.0, proto_num)) {
                 Some(s) => Arc::clone(s),
                 None => {
-                    ctx.charge(ctx.cost().session_create);
+                    ctx.charge_class(OpClass::SessionCreate, ctx.cost().session_create);
                     let s: SessionRef = Arc::new(FragSession {
                         parent: self.self_arc(),
                         peer: from,
@@ -337,9 +347,7 @@ impl Fragment {
             }
             if ent.nacks_left == 0 {
                 rasm.remove(&key);
-                ctx.trace("fragment", || {
-                    format!("gave up on message {key:?} (persistence exhausted)")
-                });
+                ctx.trace_note("reassembly persistence exhausted");
                 return;
             }
             ent.nacks_left -= 1;
@@ -363,8 +371,8 @@ impl Fragment {
                 ctx.push_header(&mut pkt, &hdr.encode());
                 ctx.charge_layer_call();
                 self.counters.nacks_sent.fetch_add(1, Ordering::Relaxed);
-                if let Err(e) = lower.push(ctx, pkt) {
-                    ctx.trace("fragment", || format!("nack send failed: {e}"));
+                if lower.push(ctx, pkt).is_err() {
+                    ctx.trace_note("nack send failed");
                 }
             }
             self.arm_gap_timer(ctx, key);
@@ -441,7 +449,7 @@ impl Fragment {
         if !found {
             // Already discarded: the higher-level protocol's own timeout
             // will resend the whole message under a new sequence number.
-            ctx.trace("fragment", || format!("nack for discarded seq {seq}"));
+            ctx.trace_note("nack for discarded seq");
             return Ok(());
         }
         // Retransmit the missing fragments from the retained copy.
@@ -589,7 +597,7 @@ impl Protocol for Fragment {
             .remote_part()
             .and_then(|p| p.host)
             .ok_or_else(|| XError::Config("fragment open needs a peer host".into()))?;
-        ctx.charge(ctx.cost().session_create);
+        ctx.charge_class(OpClass::SessionCreate, ctx.cost().session_create);
         Ok(Arc::new(FragSession {
             parent: self.self_arc(),
             peer,
@@ -613,8 +621,8 @@ impl Protocol for Fragment {
         match hdr.typ {
             frag_type::DATA => self.data_in(ctx, hdr, msg),
             frag_type::NACK => self.nack_in(ctx, hdr),
-            other => {
-                ctx.trace("fragment", || format!("unknown type {other}"));
+            _ => {
+                ctx.trace_note("unknown fragment type");
                 Ok(())
             }
         }
@@ -642,5 +650,111 @@ impl Protocol for Fragment {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::any::Any;
+
+    use super::*;
+    use xkernel::sim::{Sim, SimConfig};
+
+    /// A stand-in lower layer masquerading as VIP with an oversized MTU, so
+    /// 16 fragments can span more than 65535 bytes.
+    struct BigMtuLower {
+        me: ProtoId,
+        opt: usize,
+    }
+
+    struct BigMtuSession {
+        opt: usize,
+    }
+
+    impl Protocol for BigMtuLower {
+        fn name(&self) -> &'static str {
+            "vip"
+        }
+        fn id(&self) -> ProtoId {
+            self.me
+        }
+        fn open(&self, _c: &Ctx, _u: ProtoId, _p: &ParticipantSet) -> XResult<SessionRef> {
+            Ok(Arc::new(BigMtuSession { opt: self.opt }))
+        }
+        fn open_enable(&self, _c: &Ctx, _u: ProtoId, _p: &ParticipantSet) -> XResult<()> {
+            Ok(())
+        }
+        fn demux(&self, _c: &Ctx, _l: &SessionRef, _m: Message) -> XResult<()> {
+            Ok(())
+        }
+        fn control(&self, _c: &Ctx, op: &ControlOp) -> XResult<ControlRes> {
+            match op {
+                ControlOp::GetMyHost => Ok(ControlRes::Ip(IpAddr::new(10, 0, 0, 1))),
+                ControlOp::GetOptPacket => Ok(ControlRes::Size(self.opt)),
+                _ => Err(XError::Unsupported("big-mtu lower control")),
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    impl Session for BigMtuSession {
+        fn protocol_id(&self) -> ProtoId {
+            ProtoId(0)
+        }
+        fn push(&self, _c: &Ctx, _m: Message) -> XResult<Option<Message>> {
+            Ok(None)
+        }
+        fn control(&self, _c: &Ctx, op: &ControlOp) -> XResult<ControlRes> {
+            match op {
+                ControlOp::GetOptPacket => Ok(ControlRes::Size(self.opt)),
+                _ => Err(XError::Unsupported("big-mtu session control")),
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    /// Regression: with a lower MTU large enough that 16 fragments exceed
+    /// 65535 bytes, the wire header's u16 `len` field used to truncate
+    /// silently (`as u16`), corrupting reassembly. Such sends must be
+    /// refused with `TooBig`, while sends within u16 range still work.
+    #[test]
+    fn sends_beyond_u16_total_length_are_rejected() {
+        let sim = Sim::new(SimConfig::inline_mode());
+        let kernel = Kernel::new(&sim, "host-a");
+        let opt = 8_192;
+        let lower = kernel
+            .register("vip", |me| {
+                Ok(Arc::new(BigMtuLower { me, opt }) as ProtocolRef)
+            })
+            .unwrap();
+        let frag_id = kernel
+            .register("fragment", |me| {
+                Ok(Fragment::new(me, lower, FragConfig::default()) as ProtocolRef)
+            })
+            .unwrap();
+        let ctx = sim.ctx(kernel.host());
+        let frag = kernel.proto(frag_id).unwrap();
+        frag.boot(&ctx).unwrap();
+
+        let parts = ParticipantSet::pair(
+            Participant::proto(7),
+            Participant::host(IpAddr::new(10, 0, 0, 2)),
+        );
+        let sess = kernel.open(&ctx, frag_id, frag_id, &parts).unwrap();
+
+        // 60_000 bytes: 8 fragments of ~8k, total within u16 — accepted.
+        sess.push(&ctx, ctx.msg(vec![0u8; 60_000])).unwrap();
+
+        // 70_000 bytes: only 9 fragments (passes the 16-fragment cap) but
+        // the total cannot be carried in the u16 length field.
+        let err = sess.push(&ctx, ctx.msg(vec![0u8; 70_000])).unwrap_err();
+        assert!(
+            matches!(err, XError::TooBig { size: 70_000, .. }),
+            "oversized send must be refused, got {err:?}"
+        );
     }
 }

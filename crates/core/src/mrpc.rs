@@ -241,7 +241,7 @@ impl Mrpc {
             });
             self.chans.lock().insert(chan, Arc::clone(&mc));
             chans.push(mc);
-            ctx.charge(ctx.cost().session_create);
+            ctx.charge_class(OpClass::SessionCreate, ctx.cost().session_create);
         }
         let pool = Arc::new(Pool {
             sema: SharedSema::new(self.cfg.channels_per_peer as i64),
@@ -429,7 +429,7 @@ impl Mrpc {
     }
 
     fn request_in(&self, ctx: &Ctx, hdr: SpriteHdr, msg: Message) -> XResult<()> {
-        ctx.charge(ctx.cost().demux_lookup);
+        ctx.charge_class(OpClass::Demux, ctx.cost().demux_lookup);
         let server = self.server_for(&hdr);
 
         enum Action {
@@ -533,7 +533,7 @@ impl Mrpc {
         hdr: SpriteHdr,
         body: Message,
     ) -> XResult<()> {
-        ctx.charge(ctx.cost().demux_lookup); // Procedure table.
+        ctx.charge_class(OpClass::Demux, ctx.cost().demux_lookup); // Procedure table.
         let result = {
             let handlers = self.handlers.read();
             match handlers.get(&hdr.command) {
@@ -582,7 +582,7 @@ impl Mrpc {
     }
 
     fn reply_in(&self, ctx: &Ctx, hdr: SpriteHdr, msg: Message) -> XResult<()> {
-        ctx.charge(ctx.cost().demux_lookup);
+        ctx.charge_class(OpClass::Demux, ctx.cost().demux_lookup);
         let chan = self.chans.lock().get(&hdr.channel).cloned();
         let Some(chan) = chan else {
             return Ok(());
@@ -719,7 +719,7 @@ impl Protocol for Mrpc {
         if let Some(s) = self.sessions.lock().get(&(peer.0, command)) {
             return Ok(Arc::clone(s));
         }
-        ctx.charge(ctx.cost().session_create);
+        ctx.charge_class(OpClass::SessionCreate, ctx.cost().session_create);
         let s: SessionRef = Arc::new(MrpcSession {
             parent: self.self_arc(),
             peer,

@@ -147,7 +147,7 @@ impl Select {
     /// The full client path: allocate a channel (blocking if none free),
     /// attach the SELECT header, push through CHANNEL, decode the reply.
     fn call(&self, ctx: &Ctx, peer: IpAddr, command: u16, args: Message) -> XResult<Message> {
-        ctx.charge(ctx.cost().demux_lookup); // Channel-pool lookup.
+        ctx.charge_class(OpClass::Demux, ctx.cost().demux_lookup); // Channel-pool lookup.
         let pool = self.pool_for(ctx, peer)?;
         pool.sema.p(ctx); // Blocks when all channels are busy.
         let chan = pool
@@ -196,7 +196,7 @@ impl Select {
         status_code: u8,
         body: Message,
     ) -> XResult<()> {
-        ctx.charge(ctx.cost().demux_lookup); // Reply-path state lookup.
+        ctx.charge_class(OpClass::Demux, ctx.cost().demux_lookup); // Reply-path state lookup.
         let hdr = SelectHdr {
             typ: TYP_REPLY,
             command,
@@ -286,7 +286,7 @@ impl Protocol for Select {
         if let Some(s) = self.sessions.lock().get(&(peer.0, command)) {
             return Ok(Arc::clone(s));
         }
-        ctx.charge(ctx.cost().session_create);
+        ctx.charge_class(OpClass::SessionCreate, ctx.cost().session_create);
         let s: SessionRef = Arc::new(SelectSession {
             parent: self.self_arc(),
             peer,
@@ -323,7 +323,7 @@ impl Protocol for Select {
         let hdr = SelectHdr::decode(&bytes)?;
         drop(bytes);
         if hdr.typ != TYP_REQUEST {
-            ctx.trace("select", || format!("unexpected type {}", hdr.typ));
+            ctx.trace_note("unexpected type");
             return Ok(());
         }
         // Forwarding policy first: redirect the command to another host.
@@ -341,7 +341,7 @@ impl Protocol for Select {
                 ),
             };
         }
-        ctx.charge(ctx.cost().demux_lookup); // Procedure table lookup.
+        ctx.charge_class(OpClass::Demux, ctx.cost().demux_lookup); // Procedure table lookup.
         let handlers = self.handlers.read();
         match handlers.get(&hdr.command) {
             None => {
@@ -360,9 +360,8 @@ impl Protocol for Select {
                 match result {
                     Ok(body) => self.reply_via(ctx, lls, hdr.command, status::OK, body),
                     Err(e) => {
-                        ctx.trace("select", || {
-                            format!("procedure {} failed: {e}", hdr.command)
-                        });
+                        let _ = &e;
+                        ctx.trace_note("procedure failed");
                         self.reply_via(ctx, lls, hdr.command, status::PROC_ERROR, ctx.empty_msg())
                     }
                 }
@@ -479,7 +478,7 @@ impl Protocol for Rdgram {
         if let Some(s) = self.sessions.lock().get(&peer.0) {
             return Ok(Arc::clone(s));
         }
-        ctx.charge(ctx.cost().session_create);
+        ctx.charge_class(OpClass::SessionCreate, ctx.cost().session_create);
         let cparts = ParticipantSet::pair(
             Participant::proto(rel_proto_num("channel", "rdgram")?),
             Participant::host(peer),

@@ -122,7 +122,8 @@ impl Session for VipSession {
     fn push(&self, ctx: &Ctx, msg: Message) -> XResult<Option<Message>> {
         // The whole per-message cost of VIP: one call, one length test with
         // its session dispatch.
-        ctx.charge(ctx.cost().layer_call + ctx.cost().demux_lookup / 2);
+        ctx.charge_class(OpClass::LayerCall, ctx.cost().layer_call);
+        ctx.charge_class(OpClass::Demux, ctx.cost().demux_lookup / 2);
         match (&self.eth_sess, &self.ip_sess) {
             (Some(eth), _) if msg.len() <= self.eth_mtu => eth.push(ctx, msg),
             (_, Some(ip)) => ip.push(ctx, msg),
@@ -187,7 +188,7 @@ impl Protocol for Vip {
             .control(ctx, self.ip, &ControlOp::GetMyHost)?
             .ip()?;
 
-        ctx.charge(ctx.cost().session_create);
+        ctx.charge_class(OpClass::SessionCreate, ctx.cost().session_create);
         let (eth_sess, ip_sess) = match local {
             Some(hw) if max_msg <= ETH_MTU => {
                 (Some(open_eth(ctx, self.eth, self.me, p, hw)?), None)
@@ -199,12 +200,11 @@ impl Protocol for Vip {
             ),
             None => (None, Some(open_ip(ctx, self.ip, self.me, p, dst)?)),
         };
-        ctx.trace("vip", || {
-            format!(
-                "open to {dst}: eth={} ip={} (max_msg={max_msg})",
-                eth_sess.is_some(),
-                ip_sess.is_some()
-            )
+        ctx.trace_note(match (eth_sess.is_some(), ip_sess.is_some()) {
+            (true, true) => "open: eth=true ip=true",
+            (true, false) => "open: eth=true ip=false",
+            (false, true) => "open: eth=false ip=true",
+            (false, false) => "open: eth=false ip=false",
         });
         Ok(Arc::new(VipSession {
             proto: self.me,
@@ -294,11 +294,11 @@ impl Protocol for VipAddr {
         let dst = peer_of(parts, "vipaddr open")?;
         match resolve_local(ctx, self.arp, dst)? {
             Some(hw) => {
-                ctx.trace("vipaddr", || format!("{dst} is local: raw ethernet"));
+                ctx.trace_note("open: local raw ethernet");
                 open_eth(ctx, self.eth, self.me, p, hw)
             }
             None => {
-                ctx.trace("vipaddr", || format!("{dst} is remote: ip"));
+                ctx.trace_note("open: remote ip");
                 open_ip(ctx, self.ip, self.me, p, dst)
             }
         }
@@ -431,10 +431,8 @@ impl Protocol for VipSize {
             .control(ctx, &ControlOp::GetOptPacket)
             .and_then(|r| r.size())
             .unwrap_or(ETH_MTU);
-        ctx.charge(ctx.cost().session_create);
-        ctx.trace("vipsize", || {
-            format!("open to {dst}: threshold {threshold}")
-        });
+        ctx.charge_class(OpClass::SessionCreate, ctx.cost().session_create);
+        ctx.trace_note("open: size-selected");
         Ok(Arc::new(VipSizeSession {
             proto: self.me,
             peer: dst,

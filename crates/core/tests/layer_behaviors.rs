@@ -280,10 +280,10 @@ fn vip_opens_both_sessions_for_udp_and_routes_by_size() {
         inet::with_concrete::<Recorder, _>(&tb.server, "recorder", |rc| rc.got.lock().clone())
             .unwrap();
     assert_eq!(got, vec![100, 6000], "both sizes delivered intact");
-    let trace = tb.sim.trace_lines().join("\n");
+    let notes = tb.sim.trace_notes();
     assert!(
-        trace.contains("eth=true ip=true"),
-        "VIP opened both sessions for UDP:\n{trace}"
+        notes.iter().any(|(_, n)| *n == "open: eth=true ip=true"),
+        "VIP opened both sessions for UDP: {notes:?}"
     );
 }
 

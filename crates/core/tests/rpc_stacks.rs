@@ -548,10 +548,10 @@ fn vip_chooses_raw_ethernet_for_local_peer() {
         let k = ctx.kernel();
         xrpc::call(ctx, &k, "mrpc", server_ip, NULL_PROC, Vec::new()).unwrap();
     });
-    let trace = tb.sim.trace_lines().join("\n");
+    let notes = tb.sim.trace_notes();
     assert!(
-        trace.contains("eth=true ip=false"),
-        "VIP must open a raw ethernet session for a local peer:\n{trace}"
+        notes.iter().any(|(_, n)| *n == "open: eth=true ip=false"),
+        "VIP must open a raw ethernet session for a local peer: {notes:?}"
     );
 }
 
@@ -571,10 +571,10 @@ fn vip_chooses_ip_for_remote_peer_through_router() {
     let r = rp.sim.run_until_idle();
     assert_eq!(r.blocked, 0);
     assert_eq!(out.lock().take().unwrap(), pattern(64));
-    let trace = rp.sim.trace_lines().join("\n");
+    let notes = rp.sim.trace_notes();
     assert!(
-        trace.contains("eth=false ip=true"),
-        "VIP must fall back to IP for an off-wire peer:\n{trace}"
+        notes.iter().any(|(_, n)| *n == "open: eth=false ip=true"),
+        "VIP must fall back to IP for an off-wire peer: {notes:?}"
     );
     assert!(
         rp.net.stats(rp.lan_b).sent >= 2,

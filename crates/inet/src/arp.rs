@@ -100,7 +100,7 @@ impl Arp {
         if ip.is_broadcast() {
             return Ok(EthAddr::BROADCAST);
         }
-        ctx.charge(ctx.cost().demux_lookup); // Cache lookup.
+        ctx.charge_class(OpClass::Demux, ctx.cost().demux_lookup); // Cache lookup.
         match self.cache.lock().get(&ip) {
             Some(Entry::Known(e)) => return Ok(*e),
             Some(Entry::NotLocal(at)) if ctx.now().saturating_sub(*at) < ARP_NEGATIVE_TTL_NS => {

@@ -165,7 +165,7 @@ impl Protocol for Eth {
             .remote_part()
             .and_then(|p| p.eth)
             .ok_or_else(|| XError::Config("eth open needs a peer hardware address".into()))?;
-        ctx.charge(ctx.cost().session_create);
+        ctx.charge_class(OpClass::SessionCreate, ctx.cost().session_create);
         self.make_session(dst, ty)
     }
 
@@ -191,7 +191,7 @@ impl Protocol for Eth {
         let src = r.eth()?;
         let ty = r.u16()?;
         drop(hdr);
-        ctx.charge(ctx.cost().demux_lookup);
+        ctx.charge_class(OpClass::Demux, ctx.cost().demux_lookup);
         let upper = self
             .enables
             .lock()
@@ -203,7 +203,7 @@ impl Protocol for Eth {
             match cache.get(&(src, ty)) {
                 Some(s) => Arc::clone(s),
                 None => {
-                    ctx.charge(ctx.cost().session_create);
+                    ctx.charge_class(OpClass::SessionCreate, ctx.cost().session_create);
                     let s = self.make_session(src, ty)?;
                     cache.insert((src, ty), Arc::clone(&s));
                     s

@@ -29,7 +29,12 @@ pub struct Icmp {
     me: ProtoId,
     lower: ProtoId,
     next_seq: Mutex<u16>,
-    waiting: Mutex<HashMap<(u32, u16), EchoWaiter>>,
+    /// Parked pingers keyed by `(peer, id, seq)`. The id must be part of
+    /// the key: two concurrent pingers that happen to reuse a sequence
+    /// number toward the same peer are distinct conversations, and keying
+    /// by `(peer, seq)` alone let one pinger steal (or drop) the other's
+    /// reply.
+    waiting: Mutex<HashMap<(u32, u16, u16), EchoWaiter>>,
 }
 
 impl Icmp {
@@ -59,22 +64,36 @@ impl Icmp {
             *s = s.wrapping_add(1);
             *s
         };
+        self.ping_with(ctx, dst, len, 1, seq)
+    }
+
+    /// Pings `dst` using an explicit echo `id`/`seq` pair. Concurrent
+    /// pingers on one host use distinct ids so their replies cannot be
+    /// confused even when sequence numbers collide.
+    pub fn ping_with(
+        &self,
+        ctx: &Ctx,
+        dst: IpAddr,
+        len: usize,
+        id: u16,
+        seq: u16,
+    ) -> XResult<Vec<u8>> {
         let payload: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
         let sema = SharedSema::new(0);
         let slot: Arc<Mutex<Option<Vec<u8>>>> = Arc::new(Mutex::new(None));
         self.waiting
             .lock()
-            .insert((dst.0, seq), (sema.clone(), Arc::clone(&slot)));
+            .insert((dst.0, id, seq), (sema.clone(), Arc::clone(&slot)));
 
         let parts = ParticipantSet::pair(
             Participant::proto(u32::from(ip_proto::ICMP)),
             Participant::host(dst),
         );
         let sess = ctx.kernel().open(ctx, self.lower, self.me, &parts)?;
-        let pkt = Self::encode(TYPE_ECHO_REQUEST, 1, seq, &payload);
+        let pkt = Self::encode(TYPE_ECHO_REQUEST, id, seq, &payload);
         sess.push(ctx, ctx.msg(pkt))?;
         let got = sema.p_timeout(ctx, PING_TIMEOUT_NS) || slot.lock().is_some();
-        self.waiting.lock().remove(&(dst.0, seq));
+        self.waiting.lock().remove(&(dst.0, id, seq));
         if !got {
             return Err(XError::Timeout(format!("ping {dst} seq {seq}")));
         }
@@ -112,14 +131,17 @@ impl Protocol for Icmp {
     fn demux(&self, ctx: &Ctx, lls: &SessionRef, mut msg: Message) -> XResult<()> {
         let total = msg.len();
         if total < ICMP_HDR_LEN {
+            ctx.note(RobustEvent::CorruptRejected);
+            ctx.trace_note("short packet");
             return Ok(());
         }
         let all = msg.peek(total)?;
         if internet_checksum(&[&all]) != 0 {
-            ctx.trace("icmp", || "bad checksum".to_string());
+            ctx.note(RobustEvent::CorruptRejected);
+            ctx.trace_note("bad checksum");
             return Ok(());
         }
-        ctx.charge(total as u64 * ctx.cost().checksum_byte);
+        ctx.charge_class(OpClass::Checksum, total as u64 * ctx.cost().checksum_byte);
         let hdr = ctx.pop_header(&mut msg, ICMP_HDR_LEN)?;
         let mut r = WireReader::new(&hdr, "icmp");
         let ty = r.u8()?;
@@ -137,7 +159,7 @@ impl Protocol for Icmp {
             }
             TYPE_ECHO_REPLY => {
                 let peer = lls.control(ctx, &ControlOp::GetPeerHost)?.ip()?;
-                if let Some((sema, slot)) = self.waiting.lock().get(&(peer.0, seq)) {
+                if let Some((sema, slot)) = self.waiting.lock().get(&(peer.0, id, seq)) {
                     *slot.lock() = Some(msg.to_vec());
                     sema.v(ctx);
                 }

@@ -227,7 +227,7 @@ impl Ip {
 
     /// Longest-prefix route lookup.
     fn route_for(&self, ctx: &Ctx, dst: IpAddr) -> XResult<Route> {
-        ctx.charge(ctx.cost().demux_lookup); // Route table lookup.
+        ctx.charge_class(OpClass::Demux, ctx.cost().demux_lookup); // Route table lookup.
         let routes = self.routes.lock();
         routes
             .iter()
@@ -239,7 +239,7 @@ impl Ip {
 
     /// The ETH session towards `next_hop` on interface `iface`.
     fn eth_session(&self, ctx: &Ctx, iface: usize, next_hop: IpAddr) -> XResult<SessionRef> {
-        ctx.charge(ctx.cost().demux_lookup); // Session cache lookup.
+        ctx.charge_class(OpClass::Demux, ctx.cost().demux_lookup); // Session cache lookup.
         let f = &self.ifaces[iface];
         let arp = ctx.kernel().proto(f.arp)?;
         let hw = arp.control(ctx, &ControlOp::Resolve(next_hop))?.eth()?;
@@ -285,7 +285,10 @@ impl Ip {
             hdr.more_frags = rest.is_some() || original_mf;
             hdr.total_len = (take + IP_HDR_LEN) as u16;
             let bytes = hdr.encode();
-            ctx.charge(IP_HDR_LEN as u64 * ctx.cost().checksum_byte);
+            ctx.charge_class(
+                OpClass::Checksum,
+                IP_HDR_LEN as u64 * ctx.cost().checksum_byte,
+            );
             let mut frag = msg;
             ctx.push_header(&mut frag, &bytes);
             ctx.charge_layer_call();
@@ -302,7 +305,7 @@ impl Ip {
     }
 
     fn deliver_up(&self, ctx: &Ctx, hdr: &IpHeader, msg: Message) -> XResult<()> {
-        ctx.charge(ctx.cost().demux_lookup);
+        ctx.charge_class(OpClass::Demux, ctx.cost().demux_lookup);
         let upper = self
             .enables
             .lock()
@@ -314,7 +317,7 @@ impl Ip {
             match cache.get(&(hdr.src, hdr.proto)) {
                 Some(s) => Arc::clone(s),
                 None => {
-                    ctx.charge(ctx.cost().session_create);
+                    ctx.charge_class(OpClass::SessionCreate, ctx.cost().session_create);
                     let s: SessionRef = Arc::new(IpSession {
                         proto_id: self.me,
                         parent: self.self_arc(),
@@ -341,7 +344,7 @@ impl Ip {
             let parent = self.self_arc();
             ctx.schedule_after(REASSEMBLY_TIMEOUT_NS, move |tctx| {
                 if parent.reasm.lock().remove(&key).is_some() {
-                    tctx.trace("ip", || format!("reassembly {key:?} timed out"));
+                    tctx.trace_note("reassembly timed out");
                 }
             });
         }
@@ -374,7 +377,7 @@ impl Ip {
             }
             Some(parts) => {
                 let whole = Message::concat(parts.into_values());
-                ctx.charge(whole.len() as u64 * ctx.cost().copy_byte / 8);
+                ctx.charge_class(OpClass::Copy, whole.len() as u64 * ctx.cost().copy_byte / 8);
                 self.deliver_up(ctx, &hdr, whole)
             }
         }
@@ -476,7 +479,7 @@ impl Protocol for Ip {
             .remote_part()
             .and_then(|p| p.host)
             .ok_or_else(|| XError::Config("ip open needs a peer host".into()))?;
-        ctx.charge(ctx.cost().session_create);
+        ctx.charge_class(OpClass::SessionCreate, ctx.cost().session_create);
         Ok(Arc::new(IpSession {
             proto_id: self.me,
             parent: self.self_arc(),
@@ -497,19 +500,22 @@ impl Protocol for Ip {
 
     fn demux(&self, ctx: &Ctx, _lls: &SessionRef, mut msg: Message) -> XResult<()> {
         let bytes = ctx.pop_header(&mut msg, IP_HDR_LEN)?;
-        ctx.charge(IP_HDR_LEN as u64 * ctx.cost().checksum_byte);
+        ctx.charge_class(
+            OpClass::Checksum,
+            IP_HDR_LEN as u64 * ctx.cost().checksum_byte,
+        );
         let hdr = match IpHeader::decode(&bytes) {
             Ok(h) => h,
-            Err(e) => {
+            Err(_) => {
                 drop(bytes);
                 ctx.note(RobustEvent::CorruptRejected);
-                ctx.trace("ip", || format!("dropped bad header: {e}"));
+                ctx.trace_note("dropped bad header");
                 return Ok(());
             }
         };
         drop(bytes);
         // Local-delivery / forwarding / fragment classification.
-        ctx.charge(ctx.cost().demux_lookup);
+        ctx.charge_class(OpClass::Demux, ctx.cost().demux_lookup);
         // Trim any padding below the declared total length.
         let payload_len = usize::from(hdr.total_len).saturating_sub(IP_HDR_LEN);
         if msg.len() > payload_len {
@@ -518,14 +524,14 @@ impl Protocol for Ip {
         if !self.is_mine(hdr.dst) {
             if self.forward {
                 if hdr.ttl <= 1 {
-                    ctx.trace("ip", || format!("ttl expired for {}", hdr.dst));
+                    ctx.trace_note("ttl expired");
                     return Ok(());
                 }
                 let mut fwd = hdr;
                 fwd.ttl -= 1;
                 return self.send_datagram(ctx, fwd, msg);
             }
-            ctx.trace("ip", || format!("not mine: {}", hdr.dst));
+            ctx.trace_note("not mine");
             return Ok(());
         }
         if hdr.more_frags || hdr.frag_off != 0 {

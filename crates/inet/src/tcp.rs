@@ -186,7 +186,10 @@ impl TcpConn {
             window,
         };
         let pseudo = pseudo_header(src, self.peer, TCP_HDR_LEN + payload.len());
-        ctx.charge((TCP_HDR_LEN + payload.len()) as u64 * ctx.cost().checksum_byte);
+        ctx.charge_class(
+            OpClass::Checksum,
+            (TCP_HDR_LEN + payload.len()) as u64 * ctx.cost().checksum_byte,
+        );
         let bytes = hdr.encode(&pseudo, payload);
         let mut msg = ctx.msg(payload.to_vec());
         ctx.push_header(&mut msg, &bytes);
@@ -382,7 +385,7 @@ impl Tcp {
         state: State,
         iss: u32,
     ) -> Arc<TcpConn> {
-        ctx.charge(ctx.cost().session_create);
+        ctx.charge_class(OpClass::SessionCreate, ctx.cost().session_create);
         let conn = Arc::new(TcpConn {
             parent: self.self_arc(),
             local_port,
@@ -456,12 +459,12 @@ impl Tcp {
         // layer without a length field leaves pad bytes in and the checksum
         // below rejects the segment — the paper's incompatibility).
         let seg_len = msg.len();
-        ctx.charge(seg_len as u64 * ctx.cost().checksum_byte);
+        ctx.charge_class(OpClass::Checksum, seg_len as u64 * ctx.cost().checksum_byte);
         let mut acc = ChecksumAcc::new();
         acc.add(&pseudo_header(src, dst, seg_len));
         acc.add_message(&msg);
         if acc.finish() != 0 {
-            ctx.trace("tcp", || format!("bad checksum from {src}"));
+            ctx.trace_note("bad checksum");
             return Ok(());
         }
         let hdr_bytes = ctx.pop_header(&mut msg, TCP_HDR_LEN)?;
@@ -477,7 +480,7 @@ impl Tcp {
                 // New passive connection.
                 let listener = self.listeners.lock().get(&hdr.dst_port).cloned();
                 let Some((sema, queue)) = listener else {
-                    ctx.trace("tcp", || format!("no listener on {}", hdr.dst_port));
+                    ctx.trace_note("no listener");
                     return Ok(());
                 };
                 let iss = (ctx.next_u64() & 0xffff) as u32;

@@ -114,7 +114,10 @@ pub fn udp_checksum(src: IpAddr, dst: IpAddr, length: u16, hdr: &[u8], body: &Me
 impl UdpSession {
     fn checksum(&self, ctx: &Ctx, src: IpAddr, payload: &Message, hdr: &mut [u8]) -> XResult<()> {
         let length = (payload.len() + UDP_HDR_LEN) as u16;
-        ctx.charge((12 + hdr.len() + payload.len()) as u64 * ctx.cost().checksum_byte);
+        ctx.charge_class(
+            OpClass::Checksum,
+            (12 + hdr.len() + payload.len()) as u64 * ctx.cost().checksum_byte,
+        );
         let ck = udp_checksum(src, self.peer, length, hdr, payload);
         let ck = if ck == 0 { 0xffff } else { ck };
         hdr[6..8].copy_from_slice(&ck.to_be_bytes());
@@ -200,7 +203,7 @@ impl Protocol for Udp {
         if let Some(s) = self.sessions.lock().get(&(local, rip.0, rport)) {
             return Ok(Arc::clone(s));
         }
-        ctx.charge(ctx.cost().session_create);
+        ctx.charge_class(OpClass::SessionCreate, ctx.cost().session_create);
         let lparts = ParticipantSet::pair(
             Participant::proto(u32::from(ip_proto::UDP)),
             Participant::host(rip),
@@ -241,13 +244,16 @@ impl Protocol for Udp {
         let payload_len = usize::from(length).saturating_sub(UDP_HDR_LEN);
         if msg.len() < payload_len {
             ctx.note(RobustEvent::CorruptRejected);
-            ctx.trace("udp", || "truncated datagram dropped".to_string());
+            ctx.trace_note("truncated datagram dropped");
             return Ok(());
         }
         msg.truncate(payload_len);
         // Checksum verification cost, charged whether or not the sender
         // computed one (a real stack still inspects the field).
-        ctx.charge((UDP_HDR_LEN + msg.len()) as u64 * ctx.cost().checksum_byte);
+        ctx.charge_class(
+            OpClass::Checksum,
+            (UDP_HDR_LEN + msg.len()) as u64 * ctx.cost().checksum_byte,
+        );
         // Verify when the sender computed a checksum (field 0 = "not
         // computed", the raw-Ethernet-under-VIP path) and the lower layer
         // can reconstruct the pseudo-header. Summing over the header with
@@ -265,15 +271,13 @@ impl Protocol for Udp {
                 let sum = udp_checksum(src, dst, length, &hdr_bytes, &msg);
                 if sum != 0 && sum != 0xffff {
                     ctx.note(RobustEvent::CorruptRejected);
-                    ctx.trace("udp", || {
-                        format!("checksum mismatch on port {dst_port}: dropped")
-                    });
+                    ctx.trace_note("checksum mismatch: dropped");
                     return Ok(());
                 }
             }
         }
 
-        ctx.charge(ctx.cost().demux_lookup);
+        ctx.charge_class(OpClass::Demux, ctx.cost().demux_lookup);
         let upper = self
             .enables
             .lock()
@@ -292,7 +296,7 @@ impl Protocol for Udp {
             match cache.get(&(dst_port, peer.0, src_port)) {
                 Some(s) => Arc::clone(s),
                 None => {
-                    ctx.charge(ctx.cost().session_create);
+                    ctx.charge_class(OpClass::SessionCreate, ctx.cost().session_create);
                     let s: SessionRef = Arc::new(UdpSession {
                         proto_id: self.me,
                         parent: self.self_arc(),

@@ -286,6 +286,78 @@ fn icmp_ping_through_router() {
 }
 
 #[test]
+fn concurrent_pingers_with_distinct_ids_do_not_collide() {
+    // Regression: the waiter table was keyed by (peer, seq) only, so two
+    // pingers reusing a sequence number toward the same peer clobbered each
+    // other — one stole the other's reply (with the wrong payload) and the
+    // loser timed out. Keying by (peer, id, seq) keeps them distinct.
+    let tb = rig(Mode::Scheduled);
+    let server_ip = tb.server_ip;
+    let got_a: Arc<Mutex<Option<Vec<u8>>>> = Arc::new(Mutex::new(None));
+    let got_b: Arc<Mutex<Option<Vec<u8>>>> = Arc::new(Mutex::new(None));
+    let (a2, b2) = (Arc::clone(&got_a), Arc::clone(&got_b));
+    tb.sim.spawn(tb.client.host(), move |ctx| {
+        with_concrete::<Icmp, _>(&ctx.kernel(), "icmp", |i| {
+            *a2.lock() = Some(i.ping_with(ctx, server_ip, 24, 1, 7).unwrap());
+        })
+        .unwrap();
+    });
+    tb.sim.spawn(tb.client.host(), move |ctx| {
+        with_concrete::<Icmp, _>(&ctx.kernel(), "icmp", |i| {
+            *b2.lock() = Some(i.ping_with(ctx, server_ip, 48, 2, 7).unwrap());
+        })
+        .unwrap();
+    });
+    let r = tb.sim.run_until_idle();
+    assert_eq!(r.blocked, 0, "neither pinger may lose its reply");
+    let a = got_a.lock().take().unwrap();
+    let b = got_b.lock().take().unwrap();
+    assert_eq!(a.len(), 24, "pinger id=1 got its own 24-byte echo");
+    assert_eq!(b.len(), 48, "pinger id=2 got its own 48-byte echo");
+}
+
+#[test]
+fn icmp_checksum_rejection_is_accounted() {
+    // Regression: ICMP silently dropped short/corrupt echoes without
+    // noting CorruptRejected, so the per-host robustness counter stayed at
+    // zero even though the checksum did its job. Flip the first ICMP
+    // header byte — eth(14) + ip(20) = offset 34 — which the IP header
+    // checksum cannot see; only ICMP's own checksum catches it.
+    let tb = rig(Mode::Scheduled);
+    let server_ip = tb.server_ip;
+    let errs: Arc<Mutex<Option<XError>>> = Arc::new(Mutex::new(None));
+    let e2 = Arc::clone(&errs);
+    let net = tb.net.clone();
+    let lan = tb.lan;
+    tb.sim.spawn(tb.client.host(), move |ctx| {
+        with_concrete::<Icmp, _>(&ctx.kernel(), "icmp", |i| {
+            i.ping(ctx, server_ip, 16).unwrap(); // Clean wire: works.
+            net.set_faults(
+                lan,
+                FaultPlan {
+                    custom: Some(Arc::new(|_, _| FaultDecision::CorruptAt(34))),
+                    ..FaultPlan::default()
+                },
+            );
+            *e2.lock() = i.ping(ctx, server_ip, 16).err();
+        })
+        .unwrap();
+    });
+    let r = tb.sim.run_until_idle();
+    assert_eq!(r.blocked, 0);
+    assert!(
+        matches!(*errs.lock(), Some(XError::Timeout(_))),
+        "the corrupted echo must vanish, got {:?}",
+        errs.lock()
+    );
+    let server = tb.sim.host_stats(tb.server.host());
+    assert!(
+        server.corrupt_rejected >= 1,
+        "ICMP must count the checksum rejection: {server:?}"
+    );
+}
+
+#[test]
 fn ping_fails_cleanly_when_host_absent() {
     let tb = rig(Mode::Scheduled);
     let err: Arc<Mutex<Option<XError>>> = Arc::new(Mutex::new(None));

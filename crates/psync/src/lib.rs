@@ -284,7 +284,7 @@ impl Protocol for Psync {
             deps.push((r.u32()?, r.u32()?));
         }
         drop(deps_bytes);
-        ctx.charge(ctx.cost().demux_lookup);
+        ctx.charge_class(OpClass::Demux, ctx.cost().demux_lookup);
         let conversation = self.convs.lock().get(&conv).cloned();
         match conversation {
             Some(c) => {
@@ -300,7 +300,7 @@ impl Protocol for Psync {
                 Ok(())
             }
             None => {
-                ctx.trace("psync", || format!("no such conversation {conv}"));
+                ctx.trace_note("no such conversation");
                 Ok(())
             }
         }

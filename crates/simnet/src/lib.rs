@@ -214,7 +214,7 @@ impl SimNet {
         dst.copy_from_slice(&dst_bytes);
         let dst = EthAddr(dst);
 
-        ctx.charge(ctx.cost().device_op);
+        ctx.charge_class(OpClass::Device, ctx.cost().device_op);
 
         let mut lans = self.inner.lans.lock();
         let l = &mut lans[lan.0];
@@ -357,9 +357,9 @@ impl SimNet {
                             at,
                             *host,
                             Box::new(move |rctx: &Ctx| {
-                                rctx.charge(rctx.cost().dispatch);
-                                if let Err(e) = nic.deliver_up(rctx, m) {
-                                    rctx.trace("nic", || format!("drop on deliver: {e}"));
+                                rctx.charge_class(OpClass::Dispatch, rctx.cost().dispatch);
+                                if nic.deliver_up(rctx, m).is_err() {
+                                    rctx.trace_note("drop on deliver");
                                 }
                             }),
                         );

@@ -260,7 +260,7 @@ impl Protocol for AuthLayer {
             Participant::proto(rel_proto_num(lname, self.scheme.name())?),
             Participant::host(peer),
         );
-        ctx.charge(ctx.cost().session_create);
+        ctx.charge_class(OpClass::SessionCreate, ctx.cost().session_create);
         let lower = ctx.kernel().open(ctx, self.lower, self.me, &lparts)?;
         Ok(Arc::new(AuthClientSession {
             proto: self.me,
@@ -285,16 +285,16 @@ impl Protocol for AuthLayer {
     fn demux(&self, ctx: &Ctx, lls: &SessionRef, mut msg: Message) -> XResult<()> {
         let (flavor, body) = pop_auth(ctx, &mut msg)?;
         if flavor != self.scheme.flavor() {
-            ctx.trace("auth", || format!("flavor {flavor} rejected"));
+            ctx.trace_note("auth flavor rejected");
             return Ok(());
         }
-        if let Err(e) = self.scheme.verify_cred(&body) {
+        if self.scheme.verify_cred(&body).is_err() {
             // Denied requests are dropped; the client's transaction layer
             // will time out (a denied-reply path would also fit here).
-            ctx.trace("auth", || format!("credential rejected: {e}"));
+            ctx.trace_note("credential rejected");
             return Ok(());
         }
-        ctx.charge(ctx.cost().demux_lookup);
+        ctx.charge_class(OpClass::Demux, ctx.cost().demux_lookup);
         let upper = (*self.upper.lock())
             .ok_or_else(|| XError::NoEnable("auth layer has no upper".into()))?;
         // Wrap the reply path so the verifier is added (cached per lls).

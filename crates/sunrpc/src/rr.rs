@@ -381,7 +381,7 @@ impl Protocol for RequestReply {
         if let Some(s) = self.sessions.lock().get(&(peer.0, proto_num)) {
             return Ok(Arc::clone(s));
         }
-        ctx.charge(ctx.cost().session_create);
+        ctx.charge_class(OpClass::SessionCreate, ctx.cost().session_create);
         let s: SessionRef = Arc::new(RrClientSession {
             parent: self.self_arc(),
             peer,
@@ -409,7 +409,7 @@ impl Protocol for RequestReply {
         let mtype = r.u32()?;
         let proto_num = r.u32()?;
         drop(bytes);
-        ctx.charge(ctx.cost().demux_lookup);
+        ctx.charge_class(OpClass::Demux, ctx.cost().demux_lookup);
         match mtype {
             MSG_CALL => {
                 let upper = self
@@ -418,7 +418,7 @@ impl Protocol for RequestReply {
                     .get(&proto_num)
                     .copied()
                     .ok_or_else(|| XError::NoEnable(format!("request_reply proto {proto_num}")))?;
-                ctx.charge(ctx.cost().session_create);
+                ctx.charge_class(OpClass::SessionCreate, ctx.cost().session_create);
                 let sess: SessionRef = Arc::new(RrServerSession {
                     parent: self.self_arc(),
                     xid,
@@ -441,8 +441,8 @@ impl Protocol for RequestReply {
                 // duplicate — zero-or-more semantics, just drop it.
                 Ok(())
             }
-            other => {
-                ctx.trace("request_reply", || format!("unknown mtype {other}"));
+            _ => {
+                ctx.trace_note("unknown mtype");
                 Ok(())
             }
         }

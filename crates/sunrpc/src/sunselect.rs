@@ -104,7 +104,7 @@ impl SunSelect {
         proc: u32,
         args: Vec<u8>,
     ) -> XResult<Vec<u8>> {
-        ctx.charge(ctx.cost().demux_lookup);
+        ctx.charge_class(OpClass::Demux, ctx.cost().demux_lookup);
         let lower = self.lower_for(ctx, peer)?;
         let mut wire = ctx.msg(args);
         ctx.push_header(&mut wire, &encode_hdr(prog, vers, proc, status::OK));
@@ -213,7 +213,7 @@ impl Protocol for SunSelect {
             .remote_part()
             .and_then(|p| p.host)
             .ok_or_else(|| XError::Config("sunselect open needs a peer host".into()))?;
-        ctx.charge(ctx.cost().session_create);
+        ctx.charge_class(OpClass::SessionCreate, ctx.cost().session_create);
         Ok(Arc::new(SunSelectSession {
             parent: self.self_arc(),
             peer,
@@ -235,14 +235,15 @@ impl Protocol for SunSelect {
         let proc = r.u32()?;
         let _st = r.u32()?;
         drop(bytes);
-        ctx.charge(ctx.cost().demux_lookup);
+        ctx.charge_class(OpClass::Demux, ctx.cost().demux_lookup);
         let (st, body) = {
             let handlers = self.handlers.read();
             match handlers.get(&(prog, vers, proc)) {
                 Some(h) => match h(ctx, msg) {
                     Ok(body) => (status::OK, body),
                     Err(e) => {
-                        ctx.trace("sunselect", || format!("{prog}.{vers}.{proc} failed: {e}"));
+                        let _ = e;
+                        ctx.trace_note("handler failed");
                         (status::PROC_ERROR, ctx.empty_msg())
                     }
                 },

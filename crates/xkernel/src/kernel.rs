@@ -19,7 +19,7 @@ use parking_lot::RwLock;
 use crate::addr::ParticipantSet;
 use crate::error::{XError, XResult};
 use crate::msg::Message;
-use crate::proto::{ControlOp, ControlRes, ProtoId, ProtocolRef, SessionRef};
+use crate::proto::{ControlOp, ControlRes, ProtoId, ProtocolRef, SessionRef, TracedProtocol};
 use crate::sim::{Ctx, HostId, Sim};
 
 /// A host's kernel: protocol registry plus identity.
@@ -101,6 +101,16 @@ impl Kernel {
         let proto = ctor(id)?;
         self.install(id, proto)?;
         Ok(id)
+    }
+
+    /// The configured instance name behind a protocol id (the reverse of
+    /// [`Kernel::lookup`]); used by the trace layer to label span frames.
+    pub fn name_of(&self, id: ProtoId) -> Option<String> {
+        self.by_name
+            .read()
+            .iter()
+            .find(|(_, v)| **v == id)
+            .map(|(n, _)| n.clone())
     }
 
     /// Resolves a configured protocol name to its id.
@@ -222,8 +232,10 @@ pub mod prelude {
     pub use crate::kernel::Kernel;
     pub use crate::msg::Message;
     pub use crate::proto::{
-        ControlOp, ControlRes, ProtoId, Protocol, ProtocolRef, Session, SessionRef,
+        ControlOp, ControlRes, ProtoId, Protocol, ProtocolRef, Session, SessionRef, TracedProtocol,
+        TracedSession,
     };
     pub use crate::sim::{Ctx, HostId, HostStats, Mode, RobustEvent, SharedSema, Sim, TimerHandle};
+    pub use crate::trace::{CostBreakdown, CostEntry, Event, EventKind, FoldedLine, OpClass};
     pub use crate::wire::{internet_checksum, ChecksumAcc, WireReader, WireWriter};
 }

@@ -52,6 +52,7 @@ pub mod par;
 pub mod proto;
 pub mod shim;
 pub mod sim;
+pub mod trace;
 pub mod wire;
 
 pub use kernel::prelude;

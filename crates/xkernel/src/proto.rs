@@ -22,6 +22,7 @@ use crate::addr::{EthAddr, IpAddr, ParticipantSet, Port};
 use crate::error::{XError, XResult};
 use crate::msg::Message;
 use crate::sim::Ctx;
+use crate::trace::EventKind;
 
 /// Identifies a protocol object within one kernel's configuration.
 ///
@@ -238,6 +239,48 @@ pub trait Protocol: Send + Sync {
     /// Downcast support (e.g. registering server procedures on a concrete
     /// SELECT protocol held behind `Arc<dyn Protocol>`).
     fn as_any(&self) -> &dyn Any;
+}
+
+/// Span-entering wrapper for [`Session`] handles.
+///
+/// Implemented for [`SessionRef`] (the `Arc` layer), where method
+/// resolution finds it one autoderef step *before* the trait methods on
+/// `dyn Session` — so every existing `lower.push(ctx, msg)` call site
+/// through a `SessionRef` transparently enters the layer's xtrace span,
+/// with no per-protocol edits. The span is an RAII guard: it pops on
+/// return and on a crash unwind, so span stacks stay balanced under
+/// [`crate::sim::Sim::crash_at`]. Free when tracing is off.
+pub trait TracedSession {
+    /// [`Session::push`], entering the session's protocol span.
+    fn push(&self, ctx: &Ctx, msg: Message) -> XResult<Option<Message>>;
+    /// [`Session::pop`], entering the session's protocol span.
+    fn pop(&self, ctx: &Ctx, msg: Message) -> XResult<()>;
+}
+
+impl TracedSession for SessionRef {
+    fn push(&self, ctx: &Ctx, msg: Message) -> XResult<Option<Message>> {
+        let _span = ctx.enter_layer(self.protocol_id(), EventKind::Push, msg.len() as u64);
+        Session::push(&**self, ctx, msg)
+    }
+
+    fn pop(&self, ctx: &Ctx, msg: Message) -> XResult<()> {
+        let _span = ctx.enter_layer(self.protocol_id(), EventKind::Demux, msg.len() as u64);
+        Session::pop(&**self, ctx, msg)
+    }
+}
+
+/// Span-entering wrapper for [`Protocol`] handles; the upward counterpart
+/// of [`TracedSession`] (see there for the resolution trick).
+pub trait TracedProtocol {
+    /// [`Protocol::demux`], entering the protocol's span.
+    fn demux(&self, ctx: &Ctx, lls: &SessionRef, msg: Message) -> XResult<()>;
+}
+
+impl TracedProtocol for ProtocolRef {
+    fn demux(&self, ctx: &Ctx, lls: &SessionRef, msg: Message) -> XResult<()> {
+        let _span = ctx.enter_layer(self.id(), EventKind::Demux, msg.len() as u64);
+        Protocol::demux(&**self, ctx, lls, msg)
+    }
 }
 
 /// A session object: one end-point of a network connection.

@@ -20,8 +20,9 @@ use crate::addr::ParticipantSet;
 use crate::cost::Handicap;
 use crate::error::{XError, XResult};
 use crate::msg::Message;
-use crate::proto::{ControlOp, ControlRes, ProtoId, Protocol, Session, SessionRef};
+use crate::proto::{ControlOp, ControlRes, ProtoId, Protocol, Session, SessionRef, TracedSession};
 use crate::sim::Ctx;
+use crate::trace::OpClass;
 
 /// Header length of the null layer: 16-bit protocol number + 16-bit pad.
 pub const NULL_HDR_LEN: usize = 4;
@@ -113,7 +114,7 @@ impl Protocol for NullLayer {
 
     fn open(&self, ctx: &Ctx, _upper: ProtoId, parts: &ParticipantSet) -> XResult<SessionRef> {
         let num = Self::num_of(parts)?;
-        ctx.charge(ctx.cost().session_create);
+        ctx.charge_class(OpClass::SessionCreate, ctx.cost().session_create);
         let lower = ctx.kernel().open(ctx, self.down, self.me, parts)?;
         Ok(Arc::new(NullSession {
             proto: self.me,
@@ -134,7 +135,7 @@ impl Protocol for NullLayer {
         let hdr = ctx.pop_header(&mut msg, NULL_HDR_LEN)?;
         let num = u16::from_be_bytes([hdr[0], hdr[1]]);
         drop(hdr);
-        ctx.charge(ctx.cost().demux_lookup);
+        ctx.charge_class(OpClass::Demux, ctx.cost().demux_lookup);
         let upper = self
             .enables
             .lock()
@@ -153,7 +154,7 @@ impl Protocol for NullLayer {
                         num,
                         lower: Arc::clone(lls),
                     });
-                    ctx.charge(ctx.cost().session_create);
+                    ctx.charge_class(OpClass::SessionCreate, ctx.cost().session_create);
                     cache.insert(num, Arc::clone(&s));
                     s
                 }
@@ -202,7 +203,7 @@ fn charge_msg(handicap: &Handicap, ctx: &Ctx, len: usize) {
     ns += (len as u64 * u64::from(handicap.extra_copy_256ths) / 256) * c.copy_byte;
     // Half the fixed per-round-trip cost on each direction's send.
     ns += handicap.per_rtt_fixed / 2;
-    ctx.charge(ns);
+    ctx.charge_class(OpClass::Handicap, ns);
 }
 
 impl HandicapLayer {

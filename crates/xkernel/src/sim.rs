@@ -33,6 +33,11 @@ use crate::cost::CostModel;
 use crate::error::XResult;
 use crate::kernel::Kernel;
 use crate::msg::{HeaderPolicy, Message, Popped};
+use crate::proto::ProtoId;
+use crate::trace::{
+    CostBreakdown, CostEntry, Event, EventKind, FoldedLine, OpClass, SpanKey, TraceCore,
+    DEFAULT_RING_CAP, EMPTY_STACK,
+};
 
 /// Virtual time, in nanoseconds since simulation start.
 pub type Time = u64;
@@ -149,6 +154,9 @@ pub struct RunReport {
     pub blocked: usize,
     /// Per-host robustness counters, indexed by [`HostId`].
     pub hosts: Vec<HostStats>,
+    /// Per-layer cost attribution (empty unless tracing was enabled; see
+    /// [`crate::trace`]).
+    pub breakdown: CostBreakdown,
 }
 
 /// Per-host robustness counters accumulated during a run. Protocols report
@@ -169,6 +177,10 @@ pub struct HostStats {
     pub crashes: u64,
     /// Times this host restarted.
     pub restarts: u64,
+    /// The host's final virtual CPU clock, in nanoseconds. With tracing on,
+    /// the conservation invariant holds: the host's
+    /// [`RunReport::breakdown`] entries sum to exactly this value.
+    pub cpu_ns: u64,
 }
 
 /// A robustness event a protocol reports via [`Ctx::note`].
@@ -249,11 +261,6 @@ struct Hosts {
     stats: Vec<HostStats>,
 }
 
-struct TraceBuf {
-    enabled: bool,
-    lines: Vec<String>,
-}
-
 /// Shared simulator state.
 pub struct SimCore {
     mode: Mode,
@@ -264,7 +271,12 @@ pub struct SimCore {
     hosts: Mutex<Hosts>,
     kernels: RwLock<Vec<Arc<Kernel>>>,
     rng: Mutex<u64>,
-    trace: Mutex<TraceBuf>,
+    /// Plain flag checked before any trace work; when false the trace
+    /// mutex is never touched (the zero-overhead-when-disabled guarantee).
+    trace_on: bool,
+    /// Structured trace state; a leaf lock (never held while taking any
+    /// other simulator lock).
+    trace: Mutex<TraceCore>,
 }
 
 /// The simulator: owns hosts, time, and shepherd processes.
@@ -302,10 +314,8 @@ impl Sim {
                 }),
                 kernels: RwLock::new(Vec::new()),
                 rng: Mutex::new(cfg.seed | 1),
-                trace: Mutex::new(TraceBuf {
-                    enabled: cfg.trace,
-                    lines: Vec::new(),
-                }),
+                trace_on: cfg.trace,
+                trace: Mutex::new(TraceCore::new(DEFAULT_RING_CAP)),
             }),
         }
     }
@@ -453,11 +463,24 @@ impl Sim {
             .values()
             .filter(|l| l.state == RunState::Blocked)
             .count();
+        let hosts = {
+            let h = core.hosts.lock();
+            h.stats
+                .iter()
+                .zip(&h.cpu)
+                .map(|(s, &cpu)| {
+                    let mut s = *s;
+                    s.cpu_ns = cpu;
+                    s
+                })
+                .collect()
+        };
         let report = RunReport {
             ended_at: g.now,
             events: g.executed,
             blocked,
-            hosts: core.hosts.lock().stats.clone(),
+            hosts,
+            breakdown: breakdown_of(core),
         };
         let panic = g.panics.first().cloned();
         drop(g);
@@ -487,9 +510,123 @@ impl Sim {
         z ^ (z >> 31)
     }
 
-    /// Collected trace lines (empty unless tracing was enabled).
-    pub fn trace_lines(&self) -> Vec<String> {
-        self.core.trace.lock().lines.clone()
+    /// Whether structured tracing is enabled for this simulation.
+    pub fn trace_enabled(&self) -> bool {
+        self.core.trace_on
+    }
+
+    /// All recorded trace events, host-major in arrival order (empty
+    /// unless tracing was enabled). Rings are bounded; old events are
+    /// dropped first.
+    pub fn trace_events(&self) -> Vec<Event> {
+        if !self.core.trace_on {
+            return Vec::new();
+        }
+        self.core.trace.lock().events()
+    }
+
+    /// The protocol-reported annotations among the trace events, with the
+    /// host each was noted on (replaces the old string trace lines).
+    pub fn trace_notes(&self) -> Vec<(HostId, &'static str)> {
+        self.trace_events()
+            .into_iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Note(n) => Some((e.host, n)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The per-layer cost ledger accumulated so far (empty unless tracing
+    /// was enabled).
+    pub fn cost_breakdown(&self) -> CostBreakdown {
+        breakdown_of(&self.core)
+    }
+
+    /// Flamegraph-compatible folded-stack lines for the ledger accumulated
+    /// so far, deterministically sorted.
+    pub fn folded(&self) -> Vec<FoldedLine> {
+        folded_of(&self.core)
+    }
+
+    /// Clears the event rings and the cost ledger (live span stacks
+    /// survive, so in-flight call chains stay attributed). Benchmarks call
+    /// this after warmup to scope the ledger to the measured window.
+    pub fn trace_clear(&self) {
+        if !self.core.trace_on {
+            return;
+        }
+        self.core.trace.lock().clear();
+    }
+}
+
+/// Builds the sorted per-layer breakdown from the trace ledger, resolving
+/// innermost-layer protocol ids to instance names via the hosts' kernels.
+fn breakdown_of(core: &SimCore) -> CostBreakdown {
+    if !core.trace_on {
+        return CostBreakdown::default();
+    }
+    let kernels = core.kernels.read();
+    let tr = core.trace.lock();
+    let mut agg: HashMap<(usize, Option<ProtoId>, OpClass), Nanos> = HashMap::new();
+    for (host, frames, class, ns) in tr.rows() {
+        *agg.entry((host, frames.last().copied(), class))
+            .or_insert(0) += ns;
+    }
+    let mut entries: Vec<CostEntry> = agg
+        .into_iter()
+        .map(|((host, top, class), ns)| CostEntry {
+            host: HostId(host),
+            proto: proto_frame_name(&kernels, host, top),
+            class,
+            ns,
+        })
+        .collect();
+    entries.sort();
+    CostBreakdown { entries }
+}
+
+/// Builds the sorted folded-stack lines from the trace ledger.
+fn folded_of(core: &SimCore) -> Vec<FoldedLine> {
+    if !core.trace_on {
+        return Vec::new();
+    }
+    let kernels = core.kernels.read();
+    let tr = core.trace.lock();
+    let mut lines: Vec<FoldedLine> = tr
+        .rows()
+        .into_iter()
+        .map(|(host, frames, class, ns)| {
+            let host_name = kernels
+                .get(host)
+                .map(|k| k.name().to_string())
+                .unwrap_or_else(|| format!("host{host}"));
+            let mut out = Vec::with_capacity(frames.len() + 2);
+            out.push(host_name);
+            for p in frames {
+                out.push(proto_frame_name(&kernels, host, Some(*p)));
+            }
+            out.push(class.as_str().to_string());
+            FoldedLine {
+                host: HostId(host),
+                frames: out,
+                ns,
+            }
+        })
+        .collect();
+    lines.sort();
+    lines
+}
+
+/// The display name for a span frame: the protocol's configured instance
+/// name, or `"(host)"` for the empty stack.
+fn proto_frame_name(kernels: &[Arc<Kernel>], host: usize, proto: Option<ProtoId>) -> String {
+    match proto {
+        None => "(host)".to_string(),
+        Some(p) => kernels
+            .get(host)
+            .and_then(|k| k.name_of(p))
+            .unwrap_or_else(|| format!("p{}", p.0)),
     }
 }
 
@@ -537,13 +674,27 @@ fn advance(core: &Arc<SimCore>, g: &mut parking_lot::MutexGuard<'_, Sched>) -> N
         let kind = g.events.remove(&seq).expect("event checked present");
         match kind {
             EvKind::Run { host, f } => {
-                {
+                let jumped = {
                     let mut h = core.hosts.lock();
                     if h.down[host.0] {
                         continue; // Scheduled before the crash; dies with it.
                     }
                     let cpu = &mut h.cpu[host.0];
+                    let idle = t.saturating_sub(*cpu);
                     *cpu = (*cpu).max(t);
+                    (idle, *cpu)
+                };
+                // The fresh process has no span stack yet; the host sat
+                // idle (wire latency, timer wait) until this event.
+                if core.trace_on && jumped.0 > 0 {
+                    core.trace.lock().attribute_stack(
+                        host.0,
+                        EMPTY_STACK,
+                        None,
+                        OpClass::Idle,
+                        jumped.0,
+                        jumped.1,
+                    );
                 }
                 return Next::Task(new_lp(g, host, f));
             }
@@ -584,7 +735,7 @@ fn advance(core: &Arc<SimCore>, g: &mut parking_lot::MutexGuard<'_, Sched>) -> N
                 }
             }
             EvKind::Restart { host } => {
-                {
+                let jumped = {
                     let mut h = core.hosts.lock();
                     if !h.down[host.0] {
                         continue; // Not down; nothing to restart.
@@ -593,7 +744,19 @@ fn advance(core: &Arc<SimCore>, g: &mut parking_lot::MutexGuard<'_, Sched>) -> N
                     h.epoch[host.0] += 1;
                     h.stats[host.0].restarts += 1;
                     let cpu = &mut h.cpu[host.0];
+                    let idle = t.saturating_sub(*cpu);
                     *cpu = (*cpu).max(t);
+                    (idle, *cpu)
+                };
+                if core.trace_on && jumped.0 > 0 {
+                    core.trace.lock().attribute_stack(
+                        host.0,
+                        EMPTY_STACK,
+                        None,
+                        OpClass::Idle,
+                        jumped.0,
+                        jumped.1,
+                    );
                 }
                 // The kernel reboots as a fresh shepherd process, giving
                 // every protocol its reboot hook.
@@ -616,11 +779,21 @@ fn advance(core: &Arc<SimCore>, g: &mut parking_lot::MutexGuard<'_, Sched>) -> N
                 st.wake_reason = reason;
                 let cv = Arc::clone(&st.cv);
                 g.current = Some(lp);
-                {
-                    let switch = core.cost.proc_switch;
+                let switch = core.cost.proc_switch;
+                let jumped = {
                     let mut h = core.hosts.lock();
                     let cpu = &mut h.cpu[host.0];
+                    let idle = t.saturating_sub(*cpu);
                     *cpu = (*cpu).max(t) + switch;
+                    (idle, *cpu)
+                };
+                // Both the wait and the resume switch belong to the woken
+                // process's span stack (e.g. CHANNEL blocked for a reply).
+                if core.trace_on {
+                    let key = SpanKey::Lp(lp.0);
+                    let mut tr = core.trace.lock();
+                    tr.attribute(host.0, key, OpClass::Idle, jumped.0, jumped.1);
+                    tr.attribute(host.0, key, OpClass::Switch, switch, jumped.1);
                 }
                 cv.notify_one();
                 return Next::Yield;
@@ -725,6 +898,11 @@ fn worker_main(core: Arc<SimCore>, slot: Arc<WorkerSlot>) {
                 }
             }
             g.lps.remove(&lp.0);
+            if core.trace_on {
+                // The guards unwound with the process; discard its (empty)
+                // span stack so the table doesn't grow with process count.
+                core.trace.lock().drop_key(SpanKey::Lp(lp.0));
+            }
             // A killed process unwinds asynchronously, after the event loop
             // has moved on: it does not hold the run token, so it must not
             // clear `current` or advance — it just parks.
@@ -797,13 +975,40 @@ impl Ctx {
         self.core.hosts.lock().cpu[self.host.0]
     }
 
-    /// Charges `ns` of virtual CPU time to this host. No-op in inline mode.
-    /// Touches only the host-clock lock, never the event queue.
+    /// Charges `ns` of virtual CPU time to this host as unclassified
+    /// protocol work. No-op in inline mode. Touches only the host-clock
+    /// lock, never the event queue.
     pub fn charge(&self, ns: Nanos) {
+        self.charge_class(OpClass::Compute, ns);
+    }
+
+    /// Charges `ns` of virtual CPU time to this host, attributed (when
+    /// tracing is on) to the active layer under the given operation class.
+    pub fn charge_class(&self, class: OpClass, ns: Nanos) {
         if self.core.mode == Mode::Inline || ns == 0 {
             return;
         }
-        self.core.hosts.lock().cpu[self.host.0] += ns;
+        let t = {
+            let mut h = self.core.hosts.lock();
+            let cpu = &mut h.cpu[self.host.0];
+            *cpu += ns;
+            *cpu
+        };
+        if self.core.trace_on {
+            self.core
+                .trace
+                .lock()
+                .attribute(self.host.0, self.span_key(), class, ns, t);
+        }
+    }
+
+    /// The span-stack key of this context: its shepherd process, or the
+    /// host's setup stack outside any process.
+    fn span_key(&self) -> SpanKey {
+        match self.lp {
+            Some(lp) => SpanKey::Lp(lp.0),
+            None => SpanKey::Host(self.host.0),
+        }
     }
 
     /// Records a robustness event against this context's host. The per-host
@@ -836,7 +1041,7 @@ impl Ctx {
     /// Charges the cost of crossing one protocol layer. The kernel's demux
     /// choke point calls this; protocols call it for their downward calls.
     pub fn charge_layer_call(&self) {
-        self.charge(self.core.cost.layer_call);
+        self.charge_class(OpClass::LayerCall, self.core.cost.layer_call);
     }
 
     /// Creates a message holding `payload` under the simulation's
@@ -857,27 +1062,27 @@ impl Ctx {
         let stats = msg.push_header(header);
         if self.core.mode == Mode::Scheduled {
             let c = &self.core.cost;
-            let mut ns = header.len() as u64 * c.header_byte + stats.copied as u64 * c.copy_byte;
+            self.charge_class(OpClass::Header, header.len() as u64 * c.header_byte);
+            self.charge_class(OpClass::Copy, stats.copied as u64 * c.copy_byte);
             if stats.allocated {
-                ns += c.alloc;
+                self.charge_class(OpClass::Alloc, c.alloc);
             }
-            self.charge(ns);
         }
+        self.trace_event(EventKind::Header, header.len() as u64);
     }
 
     /// Pops an `n`-byte header from `msg`, charging for the bytes touched.
     pub fn pop_header<'m>(&self, msg: &'m mut Message, n: usize) -> XResult<Popped<'m>> {
         if self.core.mode == Mode::Scheduled {
             let c = &self.core.cost;
-            self.charge(n as u64 * c.header_byte);
+            self.charge_class(OpClass::Header, n as u64 * c.header_byte);
         }
         let popped = msg.pop_header(n)?;
         if self.core.mode == Mode::Scheduled {
             let copied = popped.stats().copied as u64;
-            if copied > 0 {
-                self.core.hosts.lock().cpu[self.host.0] += copied * self.core.cost.copy_byte;
-            }
+            self.charge_class(OpClass::Copy, copied * self.core.cost.copy_byte);
         }
+        self.trace_event(EventKind::Header, n as u64);
         Ok(popped)
     }
 
@@ -948,7 +1153,7 @@ impl Ctx {
         if self.core.mode == Mode::Inline {
             return TimerHandle::NONE;
         }
-        self.charge(self.core.cost.timer_op);
+        self.charge_class(OpClass::Timer, self.core.cost.timer_op);
         let t = self.event_time() + dt;
         self.schedule_run_at(t, self.host, Box::new(f))
     }
@@ -958,7 +1163,7 @@ impl Ctx {
         if h == TimerHandle::NONE || self.core.mode == Mode::Inline {
             return;
         }
-        self.charge(self.core.cost.timer_op);
+        self.charge_class(OpClass::Timer, self.core.cost.timer_op);
         self.core.sched.lock().events.remove(&h.0);
     }
 
@@ -978,7 +1183,7 @@ impl Ctx {
             ),
             (_, None) => panic!("blocking outside a shepherd process"),
         };
-        self.charge(self.core.cost.proc_switch);
+        self.charge_class(OpClass::Switch, self.core.cost.proc_switch);
         let mut g = self.core.sched.lock();
         let st = g.lps.get_mut(&lp.0).expect("current process registered");
         st.state = RunState::Blocked;
@@ -1060,18 +1265,75 @@ impl Ctx {
         .next_u64()
     }
 
-    /// Records a trace line if tracing is enabled.
-    pub fn trace(&self, layer: &str, text: impl FnOnce() -> String) {
-        let mut t = self.core.trace.lock();
-        if t.enabled {
-            let line = format!(
-                "[h{} t{}] {layer}: {}",
-                self.host.0,
-                self.now_for_trace(),
-                text()
-            );
-            t.lines.push(line);
+    /// Whether structured tracing is enabled.
+    pub fn trace_enabled(&self) -> bool {
+        self.core.trace_on
+    }
+
+    /// Records a protocol annotation as a structured [`EventKind::Note`]
+    /// event, attributed to the active layer. Free when tracing is off;
+    /// notes are static strings so no formatting ever happens on the hot
+    /// path.
+    pub fn trace_note(&self, note: &'static str) {
+        self.trace_event(EventKind::Note(note), 0);
+    }
+
+    /// Records a structured trace event against the active layer.
+    fn trace_event(&self, kind: EventKind, len: u64) {
+        if !self.core.trace_on {
+            return;
         }
+        let t = self.now_for_trace();
+        let mut tr = self.core.trace.lock();
+        let proto = tr.top(self.span_key());
+        tr.record(Event {
+            host: self.host,
+            t,
+            proto,
+            kind,
+            len,
+            ns: 0,
+        });
+    }
+
+    /// Enters a protocol layer's span: subsequent charges from this
+    /// context (until the guard drops) are attributed to `proto`. The
+    /// `dyn Session`/`dyn Protocol` wrappers in [`crate::proto`] call this
+    /// at every push/demux boundary; protocol code never needs to.
+    pub fn enter_layer(&self, proto: ProtoId, kind: EventKind, msg_len: u64) -> LayerSpan {
+        if !self.core.trace_on {
+            return LayerSpan { inner: None };
+        }
+        let t = self.now_for_trace();
+        let key = self.span_key();
+        let mut tr = self.core.trace.lock();
+        tr.span_push(key, proto);
+        tr.record(Event {
+            host: self.host,
+            t,
+            proto: Some(proto),
+            kind,
+            len: msg_len,
+            ns: 0,
+        });
+        LayerSpan {
+            inner: Some((Arc::clone(&self.core), key)),
+        }
+    }
+
+    /// The per-layer cost ledger accumulated so far (empty unless tracing
+    /// is enabled). Callable mid-run from inside a shepherd process, which
+    /// is race-free in scheduled mode (one process runs at a time).
+    pub fn cost_breakdown(&self) -> CostBreakdown {
+        breakdown_of(&self.core)
+    }
+
+    /// Clears the event rings and cost ledger; see [`Sim::trace_clear`].
+    pub fn trace_clear(&self) {
+        if !self.core.trace_on {
+            return;
+        }
+        self.core.trace.lock().clear();
     }
 
     fn now_for_trace(&self) -> Time {
@@ -1079,6 +1341,22 @@ impl Ctx {
             0
         } else {
             self.core.hosts.lock().cpu[self.host.0]
+        }
+    }
+}
+
+/// RAII guard for one layer's span: created by [`Ctx::enter_layer`], pops
+/// the span frame when dropped (including during a crash unwind, so span
+/// stacks stay balanced under [`Sim::crash_at`]). Inert when tracing is
+/// off — no allocation, no locking.
+pub struct LayerSpan {
+    inner: Option<(Arc<SimCore>, SpanKey)>,
+}
+
+impl Drop for LayerSpan {
+    fn drop(&mut self) {
+        if let Some((core, key)) = self.inner.take() {
+            core.trace.lock().span_pop(key);
         }
     }
 }
@@ -1123,7 +1401,7 @@ impl Sema {
 
     /// P: acquire one unit, blocking until available.
     pub fn p(&self, ctx: &Ctx) {
-        ctx.charge(ctx.cost().sema_op);
+        ctx.charge_class(OpClass::Sema, ctx.cost().sema_op);
         {
             let mut st = self.st.lock();
             if st.count > 0 {
@@ -1148,7 +1426,7 @@ impl Sema {
 
     /// V: release one unit, waking the longest-waiting process if any.
     pub fn v(&self, ctx: &Ctx) {
-        ctx.charge(ctx.cost().sema_op);
+        ctx.charge_class(OpClass::Sema, ctx.cost().sema_op);
         let woken = {
             let mut st = self.st.lock();
             match st.waiters.pop_front() {
@@ -1198,7 +1476,7 @@ impl SharedSema {
     /// P with timeout; `true` if acquired.
     pub fn p_timeout(&self, ctx: &Ctx, dt: Nanos) -> bool {
         let sema = &self.0;
-        ctx.charge(ctx.cost().sema_op);
+        ctx.charge_class(OpClass::Sema, ctx.cost().sema_op);
         let my_seq;
         {
             let mut st = sema.st.lock();

@@ -107,9 +107,9 @@ fn main() -> XResult<()> {
         );
     }
     // VIP's decisions, straight from the trace.
-    for line in sim.trace_lines() {
-        if line.contains("vip: open") {
-            println!("  {line}");
+    for (host, note) in sim.trace_notes() {
+        if note.starts_with("open:") {
+            println!("  host {host:?}: vip {note}");
         }
     }
     println!(
