@@ -45,6 +45,32 @@ grep -q '"reports_bit_identical": true' "$BENCH_SMOKE" || {
 }
 rm -f "$BENCH_SMOKE"
 
+echo "==> load-smoke: xbench xload --quick"
+# Rate sweep over all six stacks (open loop), a closed-loop point, and the
+# routed topology. The binary asserts goodput is monotone-then-saturating
+# per stack and that the parallel fan-out reproduces the sequential reports
+# bit for bit, then self-validates the JSON; the grep re-checks from the
+# outside.
+LOAD_SMOKE=$(mktemp /tmp/BENCH_xload.XXXXXX.json)
+cargo run --release -q -p xbench --bin xload -- --quick --out "$LOAD_SMOKE"
+for field in schema sweep stack points offered_cps goodput_cps p50_ns \
+             p99_ns p999_ns dropped rejected monotone closed routed \
+             reports_bit_identical; do
+    if ! grep -q "\"$field\"" "$LOAD_SMOKE"; then
+        echo "ci: BENCH_xload.json missing field \"$field\"" >&2
+        exit 1
+    fi
+done
+grep -q '"reports_bit_identical": true' "$LOAD_SMOKE" || {
+    echo "ci: parallel load reports not bit-identical" >&2
+    exit 1
+}
+if grep -q '"monotone": false' "$LOAD_SMOKE"; then
+    echo "ci: a stack's goodput curve is not monotone-then-saturating" >&2
+    exit 1
+fi
+rm -f "$LOAD_SMOKE"
+
 echo "==> profile-smoke: xbench xprof --quick"
 # Traced rerun of the Table I/II latency experiment. The binary asserts the
 # ledger's conservation invariant (client buckets sum to the window to the

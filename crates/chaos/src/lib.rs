@@ -285,6 +285,12 @@ pub struct Scenario {
     pub seed: u64,
     /// Number of sequential client calls (Psync: conversation rounds).
     pub calls: u32,
+    /// Closed-loop client population: this many concurrent client
+    /// processes each issue `calls` sequential calls with distinct
+    /// payloads. `1` (or `0`) is the classic single-client scenario,
+    /// bit-identical to the harness before populations existed. Not
+    /// supported for Psync scenarios.
+    pub population: u32,
 }
 
 /// Everything observable about one scenario run. Derives `Eq` so the
@@ -311,6 +317,10 @@ pub struct ChaosReport {
     /// Requests the server saw whose payload failed self-verification —
     /// a corrupt frame surfacing as data (must stay 0).
     pub garbage: u32,
+    /// Distinct call payloads the procedure executed more than once — a
+    /// per-call at-most-once violation (must stay 0 on CHANNEL stacks,
+    /// even with a multi-client population racing retransmissions).
+    pub duplicate_execs: u32,
 }
 
 /// Mutable counters shared between the client/server closures and the
@@ -322,6 +332,10 @@ struct Tally {
     failed: u32,
     executed: u32,
     garbage: u32,
+    /// Tags of intact request payloads the procedure has executed, for
+    /// per-call duplicate detection.
+    seen: std::collections::HashSet<u64>,
+    duplicate_execs: u32,
 }
 
 impl Scenario {
@@ -404,6 +418,11 @@ impl Scenario {
                 "{}: at-most-once violated",
                 r.label
             );
+            assert_eq!(
+                r.duplicate_execs, 0,
+                "{}: a call's payload executed more than once",
+                r.label
+            );
         } else {
             assert!(
                 r.executed >= r.completed,
@@ -451,6 +470,11 @@ impl Scenario {
             t.executed += 1;
             if !payload_is_intact(&req) {
                 t.garbage += 1;
+            } else {
+                let tag = u64::from_be_bytes(req[..8].try_into().expect("8 bytes"));
+                if !t.seen.insert(tag) {
+                    t.duplicate_execs += 1;
+                }
             }
             drop(t);
             Ok(Message::from_user(expected_reply(&req)))
@@ -470,44 +494,61 @@ impl Scenario {
         warm_arp(&tb.sim, tb.client.host(), tb.server_ip);
         self.install_schedule(&tb);
 
-        // Client: sequential calls spaced over the fault windows.
+        // Clients: a population of closed-loop processes, each issuing
+        // sequential calls spaced over the fault windows. Client 0 uses the
+        // scenario seed directly, so a population of one is bit-identical
+        // to the original single-client harness; the others derive
+        // disjoint payload streams from it.
+        let population = self.population.max(1);
         let (seed, calls) = (self.seed, self.calls);
         let server_ip = tb.server_ip;
-        let t3 = Arc::clone(&tally);
-        tb.sim.spawn(tb.client.host(), move |ctx| {
-            for i in 0..calls {
-                let req = chaos_payload(seed, u64::from(i));
-                let want = expected_reply(&req);
-                let got = match flavor {
-                    RpcFlavor::Paper(def) => {
-                        let k = ctx.kernel();
-                        xrpc::call(ctx, &k, def.entry, server_ip, RPC_PROC, req)
+        for j in 0..population {
+            let client_seed = if j == 0 {
+                seed
+            } else {
+                seed.wrapping_add(u64::from(j).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            };
+            let t3 = Arc::clone(&tally);
+            tb.sim.spawn(tb.client.host(), move |ctx| {
+                for i in 0..calls {
+                    let req = chaos_payload(client_seed, u64::from(i));
+                    let want = expected_reply(&req);
+                    let got = match flavor {
+                        RpcFlavor::Paper(def) => {
+                            let k = ctx.kernel();
+                            xrpc::call(ctx, &k, def.entry, server_ip, RPC_PROC, req)
+                        }
+                        RpcFlavor::SunRpc(_) => {
+                            with_concrete::<SunSelect, _>(&ctx.kernel(), "sunselect", |s| {
+                                s.call(ctx, server_ip, SUN_PROG, SUN_VERS, SUN_PROC, req)
+                            })
+                            .expect("sunselect registered")
+                        }
+                    };
+                    let mut t = t3.lock();
+                    match got {
+                        Ok(r) if r == want => t.completed += 1,
+                        Ok(_) => t.mismatched += 1,
+                        Err(_) => t.failed += 1,
                     }
-                    RpcFlavor::SunRpc(_) => {
-                        with_concrete::<SunSelect, _>(&ctx.kernel(), "sunselect", |s| {
-                            s.call(ctx, server_ip, SUN_PROG, SUN_VERS, SUN_PROC, req)
-                        })
-                        .expect("sunselect registered")
-                    }
-                };
-                let mut t = t3.lock();
-                match got {
-                    Ok(r) if r == want => t.completed += 1,
-                    Ok(_) => t.mismatched += 1,
-                    Err(_) => t.failed += 1,
+                    drop(t);
+                    ctx.sleep(CALL_GAP_NS);
                 }
-                drop(t);
-                ctx.sleep(CALL_GAP_NS);
-            }
-        });
+            });
+        }
         let run = tb.sim.run_until_idle();
-        self.report(run, tb.net.stats(tb.lan), &tally)
+        self.report(run, tb.net.stats(tb.lan), &tally, calls * population)
     }
 
     fn run_psync(&self, trace: bool) -> ChaosReport {
         assert!(
             self.profile.is_lossless(),
             "{}: psync has no retransmission; only lossless profiles apply",
+            self.label()
+        );
+        assert!(
+            self.population <= 1,
+            "{}: psync conversations are two-party; populations do not apply",
             self.label()
         );
         let mut reg = base_registry();
@@ -585,21 +626,28 @@ impl Scenario {
         });
 
         let run = rig.sim.run_until_idle();
-        self.report(run, rig.net.stats(rig.lan), &tally)
+        self.report(run, rig.net.stats(rig.lan), &tally, self.calls)
     }
 
-    fn report(&self, run: RunReport, lan: LanStats, tally: &Mutex<Tally>) -> ChaosReport {
+    fn report(
+        &self,
+        run: RunReport,
+        lan: LanStats,
+        tally: &Mutex<Tally>,
+        attempted: u32,
+    ) -> ChaosReport {
         let t = tally.lock();
         ChaosReport {
             label: self.label(),
             run,
             lan,
-            attempted: self.calls,
+            attempted,
             completed: t.completed,
             mismatched: t.mismatched,
             failed: t.failed,
             executed: t.executed,
             garbage: t.garbage,
+            duplicate_execs: t.duplicate_execs,
         }
     }
 }
@@ -630,6 +678,7 @@ pub fn full_matrix(seed_base: u64, seeds_per_cell: u64, calls: u32) -> Vec<Scena
                     profile,
                     seed: seed_base + i,
                     calls,
+                    population: 1,
                 });
             }
         }
@@ -727,6 +776,7 @@ mod tests {
             profile: Profile::FaultFree,
             seed: 1,
             calls: 3,
+            population: 1,
         };
         let r = sc.run_checked();
         assert_eq!(r.completed, 3);

@@ -35,6 +35,7 @@ fn soak_every_paper_stack_twenty_seeds() {
                 profile,
                 seed: 0x1000 + seed,
                 calls: 10,
+                population: 1,
             }
             .run_checked();
         }
@@ -52,6 +53,7 @@ fn soak_sun_rpc_both_transaction_layers() {
                 profile,
                 seed: 0x2000 + seed,
                 calls: 8,
+                population: 1,
             }
             .run_checked();
         }
@@ -71,6 +73,7 @@ fn soak_psync_conversations() {
             profile,
             seed: 0x3000 + seed,
             calls: 6,
+            population: 1,
         }
         .run_checked();
     }
@@ -87,6 +90,7 @@ fn identical_seeds_reproduce_bit_identical_reports() {
         profile: Profile::Chaotic,
         seed: 0xc4a05,
         calls: 12,
+        population: 1,
     };
     let a = sc.run_checked();
     let b = sc.run_checked();

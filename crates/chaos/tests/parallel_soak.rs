@@ -47,6 +47,7 @@ fn single_scenario_matches_direct_run() {
         profile: Profile::ALL[0],
         seed: 42,
         calls: 8,
+        population: 1,
     };
     let direct = sc.run();
     let via_engine = run_matrix(vec![sc], 4, false);

@@ -40,24 +40,28 @@ fn ledger_conserves_under_loss_and_chaos() {
             profile: Profile::Lossy,
             seed: 11,
             calls: 4,
+            population: 1,
         },
         Scenario {
             stack: StackKind::Paper(M_RPC_IP),
             profile: Profile::Chaotic,
             seed: 12,
             calls: 4,
+            population: 1,
         },
         Scenario {
             stack: StackKind::SunRpcChannel,
             profile: Profile::Bursty,
             seed: 13,
             calls: 3,
+            population: 1,
         },
         Scenario {
             stack: StackKind::Psync,
             profile: Profile::Jittery,
             seed: 14,
             calls: 3,
+            population: 1,
         },
     ];
     for sc in &scenarios {
@@ -74,6 +78,7 @@ fn traced_runs_are_deterministic_and_do_not_perturb_time() {
         profile: Profile::Partitioned,
         seed: 21,
         calls: 3,
+        population: 1,
     };
     let a = sc.run_traced();
     let b = sc.run_traced();

@@ -335,6 +335,14 @@ impl Session for ChanServerSession {
     fn control(&self, ctx: &Ctx, op: &ControlOp) -> XResult<ControlRes> {
         match op {
             ControlOp::GetMyBootId => Ok(ControlRes::U32(self.parent.boot_id())),
+            // An overloaded upper layer dropped the request it was just
+            // handed (shepherd pool full, Drop policy): clear the
+            // in-progress slot so the client's retransmission is delivered
+            // again instead of being acknowledged as still-working.
+            ControlOp::Custom("chan_abort", _) => {
+                self.st.lock().in_progress = None;
+                Ok(ControlRes::Done)
+            }
             other => {
                 let lls = Arc::clone(&self.lls.lock());
                 lls.control(ctx, other)
@@ -406,11 +414,28 @@ impl Channel {
         *self.boot.lock() = id;
     }
 
-    /// Allocates a fresh, kernel-unique channel number.
+    /// Allocates a fresh, kernel-unique channel number. Skips numbers that
+    /// still name a live client session: after 2^16 allocations the counter
+    /// wraps, and handing out a channel with an exchange outstanding would
+    /// alias two conversations onto one at-most-once state machine. Id 0 is
+    /// never issued — fresh counters start above it, so a post-wrap 0 would
+    /// be an id no other allocation path can produce.
     pub fn alloc_channel(&self) -> u16 {
         let mut c = self.next_chan.lock();
-        *c = c.wrapping_add(1);
-        *c
+        let clients = self.clients.lock();
+        for _ in 0..=u16::MAX as u32 {
+            *c = c.wrapping_add(1);
+            let cand = *c;
+            if cand == 0 {
+                continue;
+            }
+            if !clients.keys().any(|&(chan, _)| chan == cand) {
+                return cand;
+            }
+        }
+        // All 2^16 channel numbers live at once: structurally impossible
+        // for bounded pools, but never hand out an aliased id silently.
+        panic!("channel namespace exhausted");
     }
 
     fn observe_rtt(&self, sample: u64) {

@@ -24,6 +24,9 @@ pub fn sprite() -> ProtoContract {
         .fragments()
         .demux_key_bits(32) // channel + sequence
         .param("channels", false, true)
+        .param("shepherds", false, true)
+        .param("pending", false, true)
+        .param("policy", false, false)
         .sema(REPLY_WAITER)
 }
 
@@ -60,6 +63,9 @@ pub fn select() -> ProtoContract {
         .header(SELECT_HDR_LEN)
         .demux_key_bits(16)
         .param("channels", false, true)
+        .param("shepherds", false, true)
+        .param("pending", false, true)
+        .param("policy", false, false)
         .sema(SemaContract {
             acquires_pool: true,
             awaits_reply: false,

@@ -115,6 +115,11 @@ pub fn register_ctors(reg: &mut ProtocolRegistry) {
     reg.add("sprite", |a: &GraphArgs<'_>| {
         let cfg = mrpc::MrpcConfig {
             channels_per_peer: a.param_u64("channels", 8)? as usize,
+            shepherds: xkernel::shepherd::ShepherdConfig::from_params(
+                a.param_u64("shepherds", 0)?,
+                a.param_u64("pending", 16)?,
+                a.params.get("policy").map(String::as_str),
+            ),
             ..mrpc::MrpcConfig::default()
         };
         // A second lower capability, when present, is ARP (required over
@@ -137,6 +142,11 @@ pub fn register_ctors(reg: &mut ProtocolRegistry) {
     reg.add("select", |a: &GraphArgs<'_>| {
         let cfg = select::SelectConfig {
             channels_per_peer: a.param_u64("channels", 8)? as usize,
+            shepherds: xkernel::shepherd::ShepherdConfig::from_params(
+                a.param_u64("shepherds", 0)?,
+                a.param_u64("pending", 16)?,
+                a.params.get("policy").map(String::as_str),
+            ),
         };
         Ok(select::Select::new(a.me, a.down(0)?, cfg) as ProtocolRef)
     });

@@ -23,6 +23,7 @@ use std::sync::{Arc, OnceLock, Weak};
 use parking_lot::{Mutex, RwLock};
 
 use xkernel::prelude::*;
+use xkernel::shepherd::{Overload, ShepherdConfig, ShepherdStats, Shepherds, Submitted};
 use xkernel::sim::Nanos;
 
 use crate::hdr::{flags, SpriteHdr, SPRITE_HDR_LEN};
@@ -43,6 +44,8 @@ pub struct MrpcConfig {
     pub per_frag_ns: Nanos,
     /// Retransmission rounds before giving up.
     pub max_retries: u32,
+    /// Server-side shepherd pool (workers == 0 keeps dispatch synchronous).
+    pub shepherds: ShepherdConfig,
 }
 
 impl Default for MrpcConfig {
@@ -52,6 +55,7 @@ impl Default for MrpcConfig {
             base_timeout_ns: 100_000_000,
             per_frag_ns: 25_000_000,
             max_retries: 8,
+            shepherds: ShepherdConfig::default(),
         }
     }
 }
@@ -108,6 +112,9 @@ struct ServerState {
     last_boot: u32,
     last_seq: u32,
     in_progress: Option<u32>,
+    // The in-progress request was handed to a shepherd (its fragments have
+    // been consumed); retransmissions must be ACKed, not re-assembled.
+    dispatched: bool,
     req_num: u16,
     req_mask: u16,
     req_parts: Vec<Option<Message>>,
@@ -141,6 +148,7 @@ pub struct Mrpc {
     servers: Mutex<HashMap<(u32, u16), Arc<MServer>>>,
     sessions: Mutex<HashMap<(u32, u16), SessionRef>>,
     lowers: Mutex<HashMap<u32, (SessionRef, usize)>>,
+    shepherds: Arc<Shepherds>,
 }
 
 impl Mrpc {
@@ -163,7 +171,13 @@ impl Mrpc {
             servers: Mutex::new(HashMap::new()),
             sessions: Mutex::new(HashMap::new()),
             lowers: Mutex::new(HashMap::new()),
+            shepherds: Shepherds::new(cfg.shepherds),
         })
+    }
+
+    /// Shepherd-pool counters (zeros while the pool is disabled).
+    pub fn shepherd_stats(&self) -> ShepherdStats {
+        self.shepherds.stats()
     }
 
     fn self_arc(&self) -> Arc<Mrpc> {
@@ -418,6 +432,7 @@ impl Mrpc {
                     last_boot: hdr.boot_id,
                     last_seq: 0,
                     in_progress: None,
+                    dispatched: false,
                     req_num: 0,
                     req_mask: 0,
                     req_parts: Vec::new(),
@@ -444,6 +459,7 @@ impl Mrpc {
                 st.last_boot = hdr.boot_id;
                 st.last_seq = 0;
                 st.in_progress = None;
+                st.dispatched = false;
                 st.saved_reply.clear();
                 st.saved_reply_seq = 0;
             }
@@ -462,10 +478,17 @@ impl Mrpc {
             } else if hdr.sequence_num <= st.last_seq && st.last_seq != 0 {
                 ctx.note(RobustEvent::DuplicateSuppressed);
                 Action::None // Ancient duplicate.
+            } else if st.in_progress == Some(hdr.sequence_num) && st.dispatched {
+                // Retransmission while a shepherd is (or is queued to be)
+                // executing this request: the fragments are consumed, so
+                // just tell the client we have them all.
+                ctx.note(RobustEvent::DuplicateSuppressed);
+                Action::Ack(full_mask(st.req_num))
             } else {
                 if st.in_progress != Some(hdr.sequence_num) {
                     // New request: implicitly acknowledges the saved reply.
                     st.in_progress = Some(hdr.sequence_num);
+                    st.dispatched = false;
                     st.saved_reply.clear();
                     st.saved_reply_seq = 0;
                     st.req_num = hdr.num_frags;
@@ -480,6 +503,7 @@ impl Mrpc {
                 }
                 if st.req_mask == full_mask(st.req_num) {
                     let parts = std::mem::take(&mut st.req_parts);
+                    st.dispatched = true;
                     Action::Dispatch(Message::concat(parts.into_iter().flatten()))
                 } else if dup || hdr.flags & flags::PLEASE_ACK != 0 {
                     // Retransmission while incomplete: tell the client what
@@ -521,8 +545,66 @@ impl Mrpc {
                 }
                 Ok(())
             }
-            Action::Dispatch(body) => self.dispatch(ctx, &server, hdr, body),
+            Action::Dispatch(body) => {
+                if self.shepherds.config().workers == 0 || ctx.mode() == Mode::Inline {
+                    // Synchronous dispatch: the historical (and default) path.
+                    return self.dispatch(ctx, &server, hdr, body);
+                }
+                let me = self.self_arc();
+                let job_server = Arc::clone(&server);
+                let submitted = self.shepherds.submit(
+                    ctx,
+                    Box::new(move |jctx| {
+                        if me.dispatch(jctx, &job_server, hdr, body).is_err() {
+                            jctx.trace_note("shepherd dispatch failed");
+                        }
+                    }),
+                );
+                match submitted {
+                    Submitted::Ran | Submitted::Accepted => Ok(()),
+                    Submitted::Overloaded(policy) => {
+                        // Roll the channel back so the client's retransmission
+                        // is treated as a fresh request.
+                        {
+                            let mut st = server.st.lock();
+                            st.in_progress = None;
+                            st.dispatched = false;
+                            st.req_num = 0;
+                            st.req_mask = 0;
+                            st.req_parts = Vec::new();
+                        }
+                        match policy {
+                            Overload::Drop => Ok(()),
+                            // Sprite's NACK: "no server process available".
+                            Overload::Reject => self.send_nack(ctx, &hdr),
+                        }
+                    }
+                }
+            }
         }
+    }
+
+    /// Tells the client no shepherd could take its request (Sprite's NACK);
+    /// the client retries without waiting out the full timeout.
+    fn send_nack(&self, ctx: &Ctx, hdr: &SpriteHdr) -> XResult<()> {
+        let (lower, _) = self.lower_for(ctx, hdr.clnt_host)?;
+        let nack = SpriteHdr {
+            flags: flags::NACK,
+            clnt_host: hdr.clnt_host,
+            srvr_host: self.my_ip(),
+            channel: hdr.channel,
+            sequence_num: hdr.sequence_num,
+            num_frags: 0,
+            frag_mask: 0,
+            command: hdr.command,
+            boot_id: self.boot_id(),
+            ..SpriteHdr::default()
+        };
+        let mut pkt = ctx.empty_msg();
+        ctx.push_header(&mut pkt, &nack.encode());
+        ctx.charge_layer_call();
+        lower.push(ctx, pkt)?;
+        Ok(())
     }
 
     /// Runs the procedure and sends (and saves) the fragmented reply.
@@ -592,6 +674,14 @@ impl Mrpc {
             return Ok(());
         };
         if out.seq != hdr.sequence_num {
+            return Ok(());
+        }
+        if hdr.flags & flags::NACK != 0 {
+            // Server overload rejection: wake the caller so it retransmits
+            // (counted as a retry) instead of waiting out the timeout.
+            let sema = out.sema.clone();
+            drop(st);
+            sema.v(ctx);
             return Ok(());
         }
         if hdr.flags & flags::ACK != 0 {

@@ -23,6 +23,7 @@ use std::sync::{Arc, Weak};
 use parking_lot::{Mutex, RwLock};
 
 use xkernel::prelude::*;
+use xkernel::shepherd::{Overload, ShepherdConfig, ShepherdStats, Shepherds, Submitted};
 
 use crate::hdr::{SelectHdr, SELECT_HDR_LEN};
 use crate::protnum::rel_proto_num;
@@ -40,6 +41,8 @@ pub mod status {
     pub const NO_SUCH_PROC: u8 = 2;
     /// Forwarding to the backing host failed.
     pub const FORWARD_FAILED: u8 = 3;
+    /// All shepherds busy and the pending queue full ([`Overload::Reject`]).
+    pub const BUSY: u8 = 4;
 }
 
 /// Header type values.
@@ -51,12 +54,15 @@ const TYP_REPLY: u8 = 1;
 pub struct SelectConfig {
     /// CHANNEL sessions kept per server host (Sprite's fixed channel set).
     pub channels_per_peer: usize,
+    /// Server-side shepherd pool (workers == 0 keeps dispatch synchronous).
+    pub shepherds: ShepherdConfig,
 }
 
 impl Default for SelectConfig {
     fn default() -> SelectConfig {
         SelectConfig {
             channels_per_peer: 8,
+            shepherds: ShepherdConfig::default(),
         }
     }
 }
@@ -78,6 +84,7 @@ pub struct Select {
     pools: Mutex<HashMap<u32, Arc<ChanPool>>>,
     sessions: Mutex<HashMap<(u32, u16), SessionRef>>,
     passive_opens: AtomicU64,
+    shepherds: Arc<Shepherds>,
 }
 
 impl Select {
@@ -93,7 +100,18 @@ impl Select {
             pools: Mutex::new(HashMap::new()),
             sessions: Mutex::new(HashMap::new()),
             passive_opens: AtomicU64::new(0),
+            shepherds: Shepherds::new(cfg.shepherds),
         })
+    }
+
+    /// Shepherd-pool counters (zeros while the pool is disabled).
+    pub fn shepherd_stats(&self) -> ShepherdStats {
+        self.shepherds.stats()
+    }
+
+    /// Current depth of the shepherd pending queue.
+    pub fn shepherd_queue_depth(&self) -> usize {
+        self.shepherds.queue_depth()
     }
 
     fn self_arc(&self) -> Arc<Select> {
@@ -177,6 +195,9 @@ impl Select {
                 status::NO_SUCH_PROC => {
                     Err(XError::Remote(format!("no procedure {command} on {peer}")))
                 }
+                status::BUSY => Err(XError::Remote(format!(
+                    "server busy: procedure {command} on {peer} rejected"
+                ))),
                 code => Err(XError::Remote(format!(
                     "procedure {command} on {peer} failed with status {code}"
                 ))),
@@ -186,6 +207,50 @@ impl Select {
         pool.free.lock().push(chan);
         pool.sema.v(ctx);
         result
+    }
+
+    /// Runs one request to completion: forwarding policy, procedure table
+    /// lookup, handler execution, and the reply push down `lls`. Runs in
+    /// the delivering process when dispatch is synchronous, or in a
+    /// shepherd process when a pool is configured.
+    fn execute_request(
+        &self,
+        ctx: &Ctx,
+        lls: &SessionRef,
+        command: u16,
+        msg: Message,
+    ) -> XResult<()> {
+        // Forwarding policy first: redirect the command to another host.
+        let fwd = self.forward.lock().get(&command).copied();
+        if let Some(backend) = fwd {
+            let result = self.call(ctx, backend, command, msg);
+            return match result {
+                Ok(body) => self.reply_via(ctx, lls, command, status::OK, body),
+                Err(_) => {
+                    self.reply_via(ctx, lls, command, status::FORWARD_FAILED, ctx.empty_msg())
+                }
+            };
+        }
+        ctx.charge_class(OpClass::Demux, ctx.cost().demux_lookup); // Procedure table lookup.
+        let handlers = self.handlers.read();
+        match handlers.get(&command) {
+            None => {
+                drop(handlers);
+                self.reply_via(ctx, lls, command, status::NO_SUCH_PROC, Message::empty())
+            }
+            Some(h) => {
+                let result = h(ctx, msg);
+                drop(handlers);
+                match result {
+                    Ok(body) => self.reply_via(ctx, lls, command, status::OK, body),
+                    Err(e) => {
+                        let _ = &e;
+                        ctx.trace_note("procedure failed");
+                        self.reply_via(ctx, lls, command, status::PROC_ERROR, ctx.empty_msg())
+                    }
+                }
+            }
+        }
     }
 
     fn reply_via(
@@ -317,7 +382,11 @@ impl Protocol for Select {
     }
 
     /// Server side: a request arrives up from CHANNEL (`lls` is the server
-    /// channel session the reply must go down on).
+    /// channel session the reply must go down on). With a shepherd pool
+    /// configured the request is handed off and this (interrupt-side)
+    /// process returns immediately; CHANNEL keeps the request in progress
+    /// until the shepherd pushes the reply, so retransmissions arriving in
+    /// the meantime are acknowledged rather than re-executed.
     fn demux(&self, ctx: &Ctx, lls: &SessionRef, mut msg: Message) -> XResult<()> {
         let bytes = ctx.pop_header(&mut msg, SELECT_HDR_LEN)?;
         let hdr = SelectHdr::decode(&bytes)?;
@@ -326,45 +395,32 @@ impl Protocol for Select {
             ctx.trace_note("unexpected type");
             return Ok(());
         }
-        // Forwarding policy first: redirect the command to another host.
-        let fwd = self.forward.lock().get(&hdr.command).copied();
-        if let Some(backend) = fwd {
-            let result = self.call(ctx, backend, hdr.command, msg);
-            return match result {
-                Ok(body) => self.reply_via(ctx, lls, hdr.command, status::OK, body),
-                Err(_) => self.reply_via(
-                    ctx,
-                    lls,
-                    hdr.command,
-                    status::FORWARD_FAILED,
-                    ctx.empty_msg(),
-                ),
-            };
+        if self.shepherds.config().workers == 0 || ctx.mode() == Mode::Inline {
+            // Synchronous dispatch: the historical (and default) path.
+            return self.execute_request(ctx, lls, hdr.command, msg);
         }
-        ctx.charge_class(OpClass::Demux, ctx.cost().demux_lookup); // Procedure table lookup.
-        let handlers = self.handlers.read();
-        match handlers.get(&hdr.command) {
-            None => {
-                drop(handlers);
-                self.reply_via(
-                    ctx,
-                    lls,
-                    hdr.command,
-                    status::NO_SUCH_PROC,
-                    Message::empty(),
-                )
-            }
-            Some(h) => {
-                let result = h(ctx, msg);
-                drop(handlers);
-                match result {
-                    Ok(body) => self.reply_via(ctx, lls, hdr.command, status::OK, body),
-                    Err(e) => {
-                        let _ = &e;
-                        ctx.trace_note("procedure failed");
-                        self.reply_via(ctx, lls, hdr.command, status::PROC_ERROR, ctx.empty_msg())
-                    }
+        let me = self.self_arc();
+        let job_lls = Arc::clone(lls);
+        let command = hdr.command;
+        let submitted = self.shepherds.submit(
+            ctx,
+            Box::new(move |jctx| {
+                if me.execute_request(jctx, &job_lls, command, msg).is_err() {
+                    jctx.trace_note("shepherd dispatch failed");
                 }
+            }),
+        );
+        match submitted {
+            Submitted::Ran | Submitted::Accepted => Ok(()),
+            Submitted::Overloaded(Overload::Reject) => {
+                // Tell the client explicitly so it can back off.
+                self.reply_via(ctx, lls, command, status::BUSY, ctx.empty_msg())
+            }
+            Submitted::Overloaded(Overload::Drop) => {
+                // Clear CHANNEL's in-progress slot so the client's
+                // retransmission is redelivered instead of merely ACKed.
+                let _ = lls.control(ctx, &ControlOp::Custom("chan_abort", vec![]));
+                Ok(())
             }
         }
     }

@@ -46,6 +46,69 @@ enum Entry {
     NotLocal(u64),
 }
 
+/// Default translation-table capacity (entries).
+pub const ARP_DEFAULT_CACHE: usize = 512;
+
+/// A bounded translation table with least-recently-used replacement.
+/// Recency is a logical access counter, not wall time, so eviction order
+/// is deterministic; ties (possible only via [`ArpCache::clear`], which
+/// rewinds nothing) break towards the numerically smallest address.
+struct ArpCache {
+    map: HashMap<IpAddr, (Entry, u64)>,
+    capacity: usize,
+    tick: u64,
+    evictions: u64,
+}
+
+impl ArpCache {
+    fn new(capacity: usize) -> ArpCache {
+        ArpCache {
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks `ip` up and marks the entry most-recently used.
+    fn get(&mut self, ip: IpAddr) -> Option<Entry> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&ip).map(|slot| {
+            slot.1 = tick;
+            slot.0
+        })
+    }
+
+    /// Inserts (or refreshes) `ip`, evicting the least-recently-used
+    /// entry when the table is at capacity.
+    fn insert(&mut self, ip: IpAddr, entry: Entry) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(slot) = self.map.get_mut(&ip) {
+            *slot = (entry, tick);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .map(|(k, (_, t))| (*t, k.0))
+                .min()
+                .map(|(_, k)| IpAddr(k))
+            {
+                self.map.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(ip, (entry, tick));
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
 /// The ARP protocol object.
 pub struct Arp {
     me: ProtoId,
@@ -53,22 +116,33 @@ pub struct Arp {
     my_ip: IpAddr,
     my_eth: OnceLock<EthAddr>,
     bcast: OnceLock<SessionRef>,
-    cache: Mutex<HashMap<IpAddr, Entry>>,
+    cache: Mutex<ArpCache>,
     waiters: Mutex<HashMap<IpAddr, Vec<SharedSema>>>,
 }
 
 impl Arp {
-    /// Creates an ARP protocol above `eth`, answering for `my_ip`.
-    pub fn new(me: ProtoId, eth: ProtoId, my_ip: IpAddr) -> Arc<Arp> {
+    /// Creates an ARP protocol above `eth`, answering for `my_ip`, with a
+    /// translation table bounded to `capacity` entries (LRU replacement).
+    pub fn new(me: ProtoId, eth: ProtoId, my_ip: IpAddr, capacity: usize) -> Arc<Arp> {
         Arc::new(Arp {
             me,
             eth,
             my_ip,
             my_eth: OnceLock::new(),
             bcast: OnceLock::new(),
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(ArpCache::new(capacity)),
             waiters: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// Number of entries currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().map.len()
+    }
+
+    /// Entries evicted by LRU replacement since boot.
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache.lock().evictions
     }
 
     /// The internet address this ARP answers for.
@@ -101,9 +175,9 @@ impl Arp {
             return Ok(EthAddr::BROADCAST);
         }
         ctx.charge_class(OpClass::Demux, ctx.cost().demux_lookup); // Cache lookup.
-        match self.cache.lock().get(&ip) {
-            Some(Entry::Known(e)) => return Ok(*e),
-            Some(Entry::NotLocal(at)) if ctx.now().saturating_sub(*at) < ARP_NEGATIVE_TTL_NS => {
+        match self.cache.lock().get(ip) {
+            Some(Entry::Known(e)) => return Ok(e),
+            Some(Entry::NotLocal(at)) if ctx.now().saturating_sub(at) < ARP_NEGATIVE_TTL_NS => {
                 return Err(XError::Unreachable(format!("{ip} not on local ethernet")))
             }
             _ => {}
@@ -125,8 +199,8 @@ impl Arp {
             // In inline mode a live host has already answered during the
             // push above; p_timeout returns immediately either way.
             let _ = sema.p_timeout(ctx, ARP_TIMEOUT_NS);
-            if let Some(Entry::Known(e)) = self.cache.lock().get(&ip) {
-                return Ok(*e);
+            if let Some(Entry::Known(e)) = self.cache.lock().get(ip) {
+                return Ok(e);
             }
         }
         // Cache the negative result (with a TTL) so later opens fail fast,

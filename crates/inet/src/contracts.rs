@@ -26,6 +26,7 @@ pub fn arp() -> ProtoContract {
     ProtoContract::new("arp", AddrKind::Resolver)
         .lower(&[AddrKind::Hardware])
         .param("ip", true, false)
+        .param("cache", false, true)
 }
 
 /// IP: internet addressing over repeating `(eth, arp)` interface pairs;
@@ -41,6 +42,7 @@ pub fn ip() -> ProtoContract {
         .param("forward", false, true)
         .param("mask", false, false)
         .param("gw", false, false)
+        .param("mtu", false, false)
 }
 
 /// UDP: port addressing over anything internet-like.

@@ -9,6 +9,7 @@
 
 use std::any::Any;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
 use parking_lot::Mutex;
@@ -181,6 +182,31 @@ pub struct Ip {
     passive: Mutex<HashMap<(IpAddr, u8), SessionRef>>,
     eth_cache: Mutex<HashMap<(usize, EthAddr), SessionRef>>,
     reasm: Mutex<HashMap<(u32, u16, u8), Reassembly>>,
+    stats: IpStatsInner,
+}
+
+/// Monotonic IP-layer counters (a snapshot; see [`Ip::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IpStats {
+    /// Datagrams forwarded on behalf of another host (router role).
+    pub forwarded: u64,
+    /// Wire pieces emitted that belong to a fragmented datagram.
+    pub fragments_sent: u64,
+    /// Fragment pieces received for reassembly.
+    pub fragments_received: u64,
+    /// Datagrams successfully reassembled from fragments.
+    pub reassembled: u64,
+    /// Incomplete reassemblies abandoned at the give-up timer.
+    pub reassembly_timeouts: u64,
+}
+
+#[derive(Default)]
+struct IpStatsInner {
+    forwarded: AtomicU64,
+    fragments_sent: AtomicU64,
+    fragments_received: AtomicU64,
+    reassembled: AtomicU64,
+    reassembly_timeouts: AtomicU64,
 }
 
 impl Ip {
@@ -208,7 +234,19 @@ impl Ip {
             passive: Mutex::new(HashMap::new()),
             eth_cache: Mutex::new(HashMap::new()),
             reasm: Mutex::new(HashMap::new()),
+            stats: IpStatsInner::default(),
         })
+    }
+
+    /// Counter snapshot (forwarding, fragmentation, reassembly).
+    pub fn stats(&self) -> IpStats {
+        IpStats {
+            forwarded: self.stats.forwarded.load(Ordering::Relaxed),
+            fragments_sent: self.stats.fragments_sent.load(Ordering::Relaxed),
+            fragments_received: self.stats.fragments_received.load(Ordering::Relaxed),
+            reassembled: self.stats.reassembled.load(Ordering::Relaxed),
+            reassembly_timeouts: self.stats.reassembly_timeouts.load(Ordering::Relaxed),
+        }
     }
 
     /// Adds a static route (e.g. a default route through a gateway).
@@ -284,6 +322,10 @@ impl Ip {
             hdr.frag_off = off8;
             hdr.more_frags = rest.is_some() || original_mf;
             hdr.total_len = (take + IP_HDR_LEN) as u16;
+            if hdr.more_frags || hdr.frag_off != 0 {
+                // This wire piece is part of a fragmented datagram.
+                self.stats.fragments_sent.fetch_add(1, Ordering::Relaxed);
+            }
             let bytes = hdr.encode();
             ctx.charge_class(
                 OpClass::Checksum,
@@ -338,12 +380,19 @@ impl Ip {
 
     fn reassemble(&self, ctx: &Ctx, hdr: IpHeader, msg: Message) -> XResult<()> {
         let key = (hdr.src.0, hdr.id, hdr.proto);
+        self.stats
+            .fragments_received
+            .fetch_add(1, Ordering::Relaxed);
         let fresh = !self.reasm.lock().contains_key(&key);
         if fresh {
             // Arm the give-up timer: incomplete datagrams are discarded.
             let parent = self.self_arc();
             ctx.schedule_after(REASSEMBLY_TIMEOUT_NS, move |tctx| {
                 if parent.reasm.lock().remove(&key).is_some() {
+                    parent
+                        .stats
+                        .reassembly_timeouts
+                        .fetch_add(1, Ordering::Relaxed);
                     tctx.trace_note("reassembly timed out");
                 }
             });
@@ -377,6 +426,7 @@ impl Ip {
             }
             Some(parts) => {
                 let whole = Message::concat(parts.into_values());
+                self.stats.reassembled.fetch_add(1, Ordering::Relaxed);
                 ctx.charge_class(OpClass::Copy, whole.len() as u64 * ctx.cost().copy_byte / 8);
                 self.deliver_up(ctx, &hdr, whole)
             }
@@ -529,6 +579,7 @@ impl Protocol for Ip {
                 }
                 let mut fwd = hdr;
                 fwd.ttl -= 1;
+                self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
                 return self.send_datagram(ctx, fwd, msg);
             }
             ctx.trace_note("not mine");

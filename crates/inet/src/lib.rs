@@ -83,7 +83,8 @@ pub fn register_ctors(reg: &mut ProtocolRegistry) {
     });
     reg.add("arp", |a: &GraphArgs<'_>| {
         let ip = parse_ip(a.param("ip")?)?;
-        Ok(arp::Arp::new(a.me, a.down(0)?, ip) as ProtocolRef)
+        let cache = a.param_u64("cache", arp::ARP_DEFAULT_CACHE as u64)? as usize;
+        Ok(arp::Arp::new(a.me, a.down(0)?, ip, cache) as ProtocolRef)
     });
     reg.add("ip", |a: &GraphArgs<'_>| {
         if a.down.is_empty() || !a.down.len().is_multiple_of(2) {
@@ -95,8 +96,38 @@ pub fn register_ctors(reg: &mut ProtocolRegistry) {
             Some(m) => parse_mask(m)?,
             None => 0xffff_ff00,
         };
+        // Per-interface MTUs: `mtu=1500` applies everywhere, `mtu=1500,576`
+        // names each (eth, arp) pair in order — how a router joins segments
+        // with mismatched frame sizes.
+        let n_ifaces = a.down.len() / 2;
+        let mtus: Vec<usize> = match a.params.get("mtu") {
+            None => vec![eth::ETH_MTU; n_ifaces],
+            Some(spec) => {
+                let vals = spec
+                    .split(',')
+                    .map(|v| {
+                        v.trim()
+                            .parse::<usize>()
+                            .map_err(|_| XError::Config(format!("bad ip mtu value {v:?}")))
+                    })
+                    .collect::<XResult<Vec<usize>>>()?;
+                if vals.iter().any(|&m| m <= ip::IP_HDR_LEN + 8) {
+                    return Err(XError::Config(format!("ip mtu too small in {spec:?}")));
+                }
+                match vals.len() {
+                    1 => vec![vals[0]; n_ifaces],
+                    n if n == n_ifaces => vals,
+                    _ => {
+                        return Err(XError::Config(format!(
+                            "ip mtu list names {} interfaces, graph has {n_ifaces}",
+                            vals.len()
+                        )))
+                    }
+                }
+            }
+        };
         let mut ifaces = Vec::new();
-        for pair in a.down.chunks(2) {
+        for (i, pair) in a.down.chunks(2).enumerate() {
             let (eth_id, arp_id) = (pair[0], pair[1]);
             let arp_proto = a.kernel.proto(arp_id)?;
             let arp_ref = arp_proto
@@ -108,7 +139,7 @@ pub fn register_ctors(reg: &mut ProtocolRegistry) {
                 arp: arp_id,
                 ip: arp_ref.my_ip(),
                 mask,
-                mtu: eth::ETH_MTU,
+                mtu: mtus[i],
             });
         }
         let forward = a.param_u64("forward", 0)? != 0;

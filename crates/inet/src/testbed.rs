@@ -183,3 +183,119 @@ pub fn routed_pair(
         server_ip: IpAddr::new(10, 0, 1, 1),
     })
 }
+
+/// Two multi-host Ethernet segments joined by a forwarding router: the
+/// general internetwork for load experiments. Segment A holds
+/// `10.0.0.1 … 10.0.0.N` (gateway `10.0.0.254`), segment B holds
+/// `10.0.1.1 … 10.0.1.M` (gateway `10.0.1.254`). Each segment takes its own
+/// [`LanConfig`], so bandwidths and MTUs can differ (IP refragments at the
+/// router when they do).
+pub struct RoutedLans {
+    /// The simulator.
+    pub sim: Sim,
+    /// The network.
+    pub net: SimNet,
+    /// Segment A.
+    pub lan_a: LanId,
+    /// Segment B.
+    pub lan_b: LanId,
+    /// Segment A kernels, in address order.
+    pub left: Vec<Arc<Kernel>>,
+    /// Segment B kernels, in address order.
+    pub right: Vec<Arc<Kernel>>,
+    /// The router kernel (`10.0.0.254` / `10.0.1.254`).
+    pub router: Arc<Kernel>,
+}
+
+impl RoutedLans {
+    /// The address of segment-A host `i` (0-based).
+    pub fn left_ip(&self, i: usize) -> IpAddr {
+        IpAddr::new(10, 0, 0, i as u8 + 1)
+    }
+
+    /// The address of segment-B host `i` (0-based).
+    pub fn right_ip(&self, i: usize) -> IpAddr {
+        IpAddr::new(10, 0, 1, i as u8 + 1)
+    }
+}
+
+/// Builds [`RoutedLans`] with `n_left` + `n_right` hosts. `extra_graph`
+/// lines are appended on every host (not the router).
+pub fn routed_lans(
+    cfg: SimConfig,
+    lan_cfg_a: LanConfig,
+    lan_cfg_b: LanConfig,
+    reg: &ProtocolRegistry,
+    extra_graph: &str,
+    n_left: usize,
+    n_right: usize,
+) -> XResult<RoutedLans> {
+    assert!(n_left <= 200 && n_right <= 200, "segment address space");
+    let sim = Sim::new(cfg);
+    let net = SimNet::new(&sim);
+    let mtu_a = lan_cfg_a.mtu;
+    let mtu_b = lan_cfg_b.mtu;
+    let lan_a = net.add_lan(lan_cfg_a);
+    let lan_b = net.add_lan(lan_cfg_b);
+
+    let build_host = |lan: LanId, name: &str, eth_idx: u16, ip: &str, gw: &str, mtu: usize| {
+        let k = Kernel::new(&sim, name);
+        net.attach(&k, lan, "nic0", EthAddr::from_index(eth_idx))?;
+        let spec = format!(
+            "eth -> nic0\n\
+             arp ip={ip} -> eth\n\
+             ip gw={gw} mtu={mtu} -> eth arp\n\
+             udp -> ip\n\
+             icmp -> ip\n{extra_graph}"
+        );
+        reg.build(&sim, &k, &spec)?;
+        Ok::<Arc<Kernel>, XError>(k)
+    };
+
+    let mut left = Vec::new();
+    for i in 0..n_left {
+        let ip = format!("10.0.0.{}", i + 1);
+        left.push(build_host(
+            lan_a,
+            &format!("left{i}"),
+            i as u16 + 1,
+            &ip,
+            "10.0.0.254",
+            mtu_a,
+        )?);
+    }
+    let mut right = Vec::new();
+    for i in 0..n_right {
+        let ip = format!("10.0.1.{}", i + 1);
+        right.push(build_host(
+            lan_b,
+            &format!("right{i}"),
+            i as u16 + 301,
+            &ip,
+            "10.0.1.254",
+            mtu_b,
+        )?);
+    }
+
+    let router = Kernel::new(&sim, "router");
+    net.attach(&router, lan_a, "nicA", EthAddr::from_index(601))?;
+    net.attach(&router, lan_b, "nicB", EthAddr::from_index(602))?;
+    let spec = format!(
+        "eth0: eth -> nicA\n\
+         arp0: arp ip=10.0.0.254 -> eth0\n\
+         eth1: eth -> nicB\n\
+         arp1: arp ip=10.0.1.254 -> eth1\n\
+         ip forward=1 mtu={mtu_a},{mtu_b} -> eth0 arp0 eth1 arp1\n"
+    );
+    reg.build(&sim, &router, &spec)?;
+
+    Ok(RoutedLans {
+        sim,
+        net,
+        lan_a,
+        lan_b,
+        left,
+        right,
+        router,
+    })
+}

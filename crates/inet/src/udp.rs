@@ -57,11 +57,12 @@ impl Udp {
         self.weak_self.upgrade().expect("udp protocol alive")
     }
 
-    fn ports_of(parts: &ParticipantSet) -> XResult<(Port, IpAddr, Port)> {
-        let local = parts
-            .local_part()
-            .and_then(|p| p.port)
-            .ok_or_else(|| XError::Config("udp open needs a local port".into()))?;
+    fn ports_of(&self, parts: &ParticipantSet) -> XResult<(Port, IpAddr, Port)> {
+        // Clients that don't name a local port get an ephemeral one.
+        let local = match parts.local_part().and_then(|p| p.port) {
+            Some(p) => p,
+            None => self.ephemeral_port(),
+        };
         let remote = parts
             .remote_part()
             .ok_or_else(|| XError::Config("udp open needs a peer".into()))?;
@@ -74,12 +75,33 @@ impl Udp {
         Ok((local, rip, rport))
     }
 
-    /// Allocates an ephemeral local port (clients that don't care).
+    /// Allocates an ephemeral local port (clients that don't care). Skips
+    /// ports still owned by a live session or an open_enable registration:
+    /// after the 16k ephemeral range wraps, handing out a port with
+    /// traffic outstanding would steer the old conversation's datagrams
+    /// into the new session.
     pub fn ephemeral_port(&self) -> Port {
         let mut p = self.next_ephemeral.lock();
-        let out = *p;
-        *p = p.checked_add(1).unwrap_or(49_152);
-        out
+        let sessions = self.sessions.lock();
+        let enables = self.enables.lock();
+        for _ in 0..16_384u32 {
+            let cand = *p;
+            *p = p.checked_add(1).unwrap_or(49_152);
+            let live =
+                sessions.keys().any(|&(local, _, _)| local == cand) || enables.contains_key(&cand);
+            if !live {
+                return cand;
+            }
+        }
+        // Every ephemeral port has a live session: structurally impossible
+        // for bounded workloads, but never hand out an aliased port.
+        panic!("udp ephemeral port range exhausted");
+    }
+
+    /// Number of live (open) UDP sessions — diagnostic accessor for churn
+    /// audits: closed sessions must leave no residue in the demux map.
+    pub fn session_count(&self) -> usize {
+        self.sessions.lock().len()
     }
 }
 
@@ -199,7 +221,7 @@ impl Protocol for Udp {
     }
 
     fn open(&self, ctx: &Ctx, _upper: ProtoId, parts: &ParticipantSet) -> XResult<SessionRef> {
-        let (local, rip, rport) = Self::ports_of(parts)?;
+        let (local, rip, rport) = self.ports_of(parts)?;
         if let Some(s) = self.sessions.lock().get(&(local, rip.0, rport)) {
             return Ok(Arc::clone(s));
         }

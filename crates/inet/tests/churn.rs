@@ -1,0 +1,110 @@
+//! Ephemeral-port churn: UDP's allocator must survive sessions opening and
+//! closing at high rate without ever handing a live port to a second
+//! session. The allocator wraps a 16 K range; these tests drive it through
+//! full wraps and assert the liveness skip and the reclamation of closed
+//! ports.
+
+use inet::testbed::{base_registry, two_hosts, TwoHosts};
+use inet::udp::Udp;
+use inet::with_concrete;
+use xkernel::prelude::*;
+use xkernel::sim::SimConfig;
+
+const EPHEMERAL_BASE: Port = 49_152;
+const EPHEMERAL_SPAN: u32 = 16_384;
+
+fn rig() -> TwoHosts {
+    two_hosts(SimConfig::inline_mode(), &base_registry(), "").expect("testbed builds")
+}
+
+/// Opens a UDP session from the client with no local port named, so the
+/// protocol allocates an ephemeral one; returns (session, allocated port).
+fn open_ephemeral(tb: &TwoHosts, remote_port: Port) -> (SessionRef, Port) {
+    let ctx = tb.sim.ctx(tb.client.host());
+    let udp = tb.client.lookup("udp").expect("udp in graph");
+    let parts = ParticipantSet::pair(
+        Participant::default(),
+        Participant::host_port(tb.server_ip, remote_port),
+    );
+    let sess = tb
+        .client
+        .open(&ctx, udp, udp, &parts)
+        .expect("udp open with ephemeral local port");
+    let port = match sess.control(&ctx, &ControlOp::GetMyPort) {
+        Ok(ControlRes::Port(p)) => p,
+        other => panic!("GetMyPort: {other:?}"),
+    };
+    (sess, port)
+}
+
+#[test]
+fn ephemeral_ports_skip_live_sessions_across_a_full_wrap() {
+    let tb = rig();
+    let (_a, pa) = open_ephemeral(&tb, 7000);
+    let (_b, pb) = open_ephemeral(&tb, 7001);
+    assert_eq!(pa, EPHEMERAL_BASE, "allocation starts at the range base");
+    assert_eq!(pb, EPHEMERAL_BASE + 1, "second session gets the next port");
+
+    // Spin the allocator through more than two full wraps of the range.
+    // The two live ports must never be re-issued while their sessions are
+    // open — a reused port would splice a new conversation into an old
+    // session's demux key.
+    with_concrete::<Udp, _>(&tb.client, "udp", |u| {
+        for _ in 0..(2 * EPHEMERAL_SPAN + 7) {
+            let p = u.ephemeral_port();
+            assert!(p != pa && p != pb, "live port {p} re-issued");
+            assert!(p >= EPHEMERAL_BASE, "port {p} below the ephemeral range");
+        }
+    })
+    .expect("udp downcast");
+}
+
+#[test]
+fn closed_ports_rejoin_the_pool() {
+    let tb = rig();
+    let ctx = tb.sim.ctx(tb.client.host());
+    let (a, pa) = open_ephemeral(&tb, 7000);
+    let (_b, pb) = open_ephemeral(&tb, 7001);
+    a.close(&ctx).expect("close");
+    // One wrap later the closed port is allocatable again, while the
+    // still-open neighbour stays off-limits.
+    with_concrete::<Udp, _>(&tb.client, "udp", |u| {
+        let mut reclaimed = false;
+        for _ in 0..=EPHEMERAL_SPAN {
+            let p = u.ephemeral_port();
+            assert_ne!(p, pb, "live port {pb} re-issued");
+            if p == pa {
+                reclaimed = true;
+                break;
+            }
+        }
+        assert!(reclaimed, "closed port {pa} never rejoined the pool");
+    })
+    .expect("udp downcast");
+}
+
+#[test]
+fn session_churn_reuses_ports_without_collisions() {
+    // Open/close churn: each generation holds a handful of sessions, then
+    // closes them. No two *concurrently open* sessions may ever share a
+    // local port, and the demux key map stays bounded (closed sessions
+    // leave no residue).
+    let tb = rig();
+    let ctx = tb.sim.ctx(tb.client.host());
+    for generation in 0..64u16 {
+        let mut open: Vec<(SessionRef, Port)> = (0..5)
+            .map(|i| open_ephemeral(&tb, 8000 + generation * 8 + i))
+            .collect();
+        let mut ports: Vec<Port> = open.iter().map(|(_, p)| *p).collect();
+        ports.sort_unstable();
+        ports.dedup();
+        assert_eq!(ports.len(), 5, "generation {generation}: duplicate port");
+        for (s, _) in open.drain(..) {
+            s.close(&ctx).expect("close");
+        }
+    }
+    with_concrete::<Udp, _>(&tb.client, "udp", |u| {
+        assert_eq!(u.session_count(), 0, "closed sessions left residue");
+    })
+    .expect("udp downcast");
+}

@@ -11,6 +11,9 @@ pub fn request_reply() -> ProtoContract {
         .lower(&[AddrKind::Transport, AddrKind::Internet])
         .header(RR_HDR_LEN)
         .demux_key_bits(32) // xid
+        .param("shepherds", false, true)
+        .param("pending", false, true)
+        .param("policy", false, false)
         .sema(SemaContract {
             acquires_pool: false,
             awaits_reply: true,

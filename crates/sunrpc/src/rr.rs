@@ -21,6 +21,7 @@ use std::sync::{Arc, OnceLock, Weak};
 use parking_lot::Mutex;
 
 use xkernel::prelude::*;
+use xkernel::shepherd::{ShepherdConfig, ShepherdStats, Shepherds, Submitted};
 use xkernel::sim::Nanos;
 
 use crate::xdr::{XdrReader, XdrWriter};
@@ -50,6 +51,10 @@ pub struct RrConfig {
     pub min_rto_ns: Nanos,
     /// Ceiling for the adaptive RTO (also caps exponential backoff).
     pub max_rto_ns: Nanos,
+    /// Server-side shepherd pool (workers == 0 keeps dispatch synchronous).
+    /// REQUEST_REPLY is zero-or-more, so both overload policies behave as
+    /// a drop: the client's retransmission machinery recovers.
+    pub shepherds: ShepherdConfig,
 }
 
 impl Default for RrConfig {
@@ -60,6 +65,7 @@ impl Default for RrConfig {
             adaptive: true,
             min_rto_ns: 1_000_000,
             max_rto_ns: 10_000_000_000,
+            shepherds: ShepherdConfig::default(),
         }
     }
 }
@@ -96,6 +102,7 @@ pub struct RequestReply {
     outstanding: Mutex<HashMap<u32, Out>>,
     sessions: Mutex<HashMap<(u32, u32), SessionRef>>,
     lowers: Mutex<HashMap<u32, SessionRef>>,
+    shepherds: Arc<Shepherds>,
 }
 
 impl RequestReply {
@@ -122,11 +129,17 @@ impl RequestReply {
             outstanding: Mutex::new(HashMap::new()),
             sessions: Mutex::new(HashMap::new()),
             lowers: Mutex::new(HashMap::new()),
+            shepherds: Shepherds::new(cfg.shepherds),
         })
     }
 
     fn self_arc(&self) -> Arc<RequestReply> {
         self.weak_self.upgrade().expect("request_reply alive")
+    }
+
+    /// Shepherd-pool counters (zeros while the pool is disabled).
+    pub fn shepherd_stats(&self) -> ShepherdStats {
+        self.shepherds.stats()
     }
 
     /// Switches between the adaptive RTO and the fixed timeout at run time.
@@ -425,7 +438,25 @@ impl Protocol for RequestReply {
                     proto_num,
                     lls: Arc::clone(lls),
                 });
-                ctx.kernel().demux_to(ctx, upper, &sess, msg)
+                if self.shepherds.config().workers == 0 || ctx.mode() == Mode::Inline {
+                    // Synchronous dispatch: the historical (and default) path.
+                    return ctx.kernel().demux_to(ctx, upper, &sess, msg);
+                }
+                let submitted = self.shepherds.submit(
+                    ctx,
+                    Box::new(move |jctx| {
+                        if jctx.kernel().demux_to(jctx, upper, &sess, msg).is_err() {
+                            jctx.trace_note("shepherd dispatch failed");
+                        }
+                    }),
+                );
+                match submitted {
+                    Submitted::Ran | Submitted::Accepted => Ok(()),
+                    // Zero-or-more semantics: an overloaded call is simply
+                    // not executed; the client retransmits under the same
+                    // xid, so at-most-once is the caller's concern, not ours.
+                    Submitted::Overloaded(_) => Ok(()),
+                }
             }
             MSG_REPLY => {
                 let mut out = self.outstanding.lock();

@@ -50,6 +50,7 @@ pub mod lint;
 pub mod msg;
 pub mod par;
 pub mod proto;
+pub mod shepherd;
 pub mod shim;
 pub mod sim;
 pub mod trace;

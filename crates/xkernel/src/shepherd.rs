@@ -1,0 +1,225 @@
+//! Shepherd-process pools for server-side RPC concurrency.
+//!
+//! The paper's Sprite RPC parks a pool of kernel "shepherd" processes on the
+//! server; an arriving request is handed to a free shepherd so the interrupt
+//! handler never runs user procedures. Our stacks historically ran every
+//! handler inline in the delivering process — correct, but fully serialized
+//! per host. This module gives any server protocol a configurable pool:
+//! up to `workers` requests execute concurrently (in simulated time), up to
+//! `pending` more wait in a bounded FIFO, and beyond that an explicit
+//! overload policy applies ([`Overload::Drop`] or [`Overload::Reject`]).
+//!
+//! With `workers == 0` (the default) `submit` runs the job synchronously in
+//! the caller's process — bit-identical to the historical behaviour, so
+//! existing latency goldens are unperturbed. Pools never park processes on
+//! semaphores: a worker is spawned per burst and exits when the queue
+//! drains, which keeps `run_until_idle().blocked == 0` invariants intact.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::sim::{Ctx, Mode};
+use crate::trace::OpClass;
+
+/// A deferred unit of server work (one request's dispatch + reply).
+pub type Job = Box<dyn FnOnce(&Ctx) + Send + 'static>;
+
+/// What to do with a request that finds both the pool and the queue full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Overload {
+    /// Silently discard; the client's retransmission machinery recovers.
+    Drop,
+    /// Send an explicit busy indication so the client can back off.
+    Reject,
+}
+
+/// Pool shape and overload policy.
+#[derive(Clone, Copy, Debug)]
+pub struct ShepherdConfig {
+    /// Concurrent worker processes. `0` disables the pool (synchronous).
+    pub workers: usize,
+    /// Bounded pending-queue capacity behind the workers.
+    pub pending: usize,
+    /// Policy once `workers` are busy and `pending` jobs wait.
+    pub policy: Overload,
+}
+
+impl Default for ShepherdConfig {
+    fn default() -> ShepherdConfig {
+        ShepherdConfig {
+            workers: 0,
+            pending: 16,
+            policy: Overload::Drop,
+        }
+    }
+}
+
+impl ShepherdConfig {
+    /// Builds a config from graph-DSL style parameters; `workers == 0`
+    /// keeps the protocol synchronous.
+    pub fn from_params(workers: u64, pending: u64, policy: Option<&str>) -> ShepherdConfig {
+        ShepherdConfig {
+            workers: workers as usize,
+            pending: pending as usize,
+            policy: match policy {
+                Some("reject") => Overload::Reject,
+                _ => Overload::Drop,
+            },
+        }
+    }
+}
+
+/// Monotonic pool counters (a snapshot; see [`Shepherds::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShepherdStats {
+    /// Jobs offered to the pool.
+    pub submitted: u64,
+    /// Jobs actually executed (inline or by a worker).
+    pub executed: u64,
+    /// Jobs discarded by [`Overload::Drop`].
+    pub dropped: u64,
+    /// Jobs refused with a busy indication by [`Overload::Reject`].
+    pub rejected: u64,
+    /// High-water mark of the pending queue.
+    pub peak_queue: u64,
+    /// High-water mark of concurrently active workers.
+    pub peak_workers: u64,
+}
+
+/// Outcome of [`Shepherds::submit`].
+#[derive(Debug)]
+pub enum Submitted {
+    /// The job ran synchronously in the caller's process.
+    Ran,
+    /// The job was handed to (or queued for) a worker process.
+    Accepted,
+    /// Pool and queue were full; the caller must apply this policy.
+    Overloaded(Overload),
+}
+
+struct PoolState {
+    active: usize,
+    queue: VecDeque<Job>,
+}
+
+/// A per-protocol shepherd pool.
+pub struct Shepherds {
+    cfg: ShepherdConfig,
+    st: Mutex<PoolState>,
+    submitted: AtomicU64,
+    executed: AtomicU64,
+    dropped: AtomicU64,
+    rejected: AtomicU64,
+    peak_queue: AtomicU64,
+    peak_workers: AtomicU64,
+}
+
+impl Shepherds {
+    /// Creates a pool with the given shape.
+    pub fn new(cfg: ShepherdConfig) -> Arc<Shepherds> {
+        Arc::new(Shepherds {
+            cfg,
+            st: Mutex::new(PoolState {
+                active: 0,
+                queue: VecDeque::new(),
+            }),
+            submitted: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            peak_queue: AtomicU64::new(0),
+            peak_workers: AtomicU64::new(0),
+        })
+    }
+
+    /// The configured shape.
+    pub fn config(&self) -> ShepherdConfig {
+        self.cfg
+    }
+
+    /// Current pending-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.st.lock().queue.len()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ShepherdStats {
+        ShepherdStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            executed: self.executed.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            peak_queue: self.peak_queue.load(Ordering::Relaxed),
+            peak_workers: self.peak_workers.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Offers `job` to the pool. Synchronous configurations (and inline
+    /// mode, which has no scheduler) run it immediately; otherwise it is
+    /// dispatched to a worker, queued, or refused per the overload policy.
+    /// On [`Submitted::Overloaded`] the caller owns the protocol response
+    /// (the job has already been counted dropped/rejected).
+    pub fn submit(self: &Arc<Shepherds>, ctx: &Ctx, job: Job) -> Submitted {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        if self.cfg.workers == 0 || ctx.mode() == Mode::Inline {
+            self.executed.fetch_add(1, Ordering::Relaxed);
+            job(ctx);
+            return Submitted::Ran;
+        }
+        let mut st = self.st.lock();
+        if st.active < self.cfg.workers {
+            st.active += 1;
+            self.peak_workers
+                .fetch_max(st.active as u64, Ordering::Relaxed);
+            drop(st);
+            // Interrupt-side handoff to a shepherd process.
+            ctx.charge_class(OpClass::Dispatch, ctx.cost().dispatch);
+            let pool = Arc::clone(self);
+            ctx.spawn_on(ctx.host(), move |wctx| pool.worker(wctx, job));
+            Submitted::Accepted
+        } else if st.queue.len() < self.cfg.pending {
+            st.queue.push_back(job);
+            self.peak_queue
+                .fetch_max(st.queue.len() as u64, Ordering::Relaxed);
+            drop(st);
+            ctx.charge_class(OpClass::Dispatch, ctx.cost().dispatch);
+            Submitted::Accepted
+        } else {
+            drop(st);
+            match self.cfg.policy {
+                Overload::Drop => self.dropped.fetch_add(1, Ordering::Relaxed),
+                Overload::Reject => self.rejected.fetch_add(1, Ordering::Relaxed),
+            };
+            Submitted::Overloaded(self.cfg.policy)
+        }
+    }
+
+    fn worker(self: Arc<Shepherds>, ctx: &Ctx, first: Job) {
+        let mut job = first;
+        loop {
+            self.executed.fetch_add(1, Ordering::Relaxed);
+            job(ctx);
+            let next = {
+                let mut st = self.st.lock();
+                match st.queue.pop_front() {
+                    Some(j) => Some(j),
+                    None => {
+                        st.active -= 1;
+                        None
+                    }
+                }
+            };
+            match next {
+                Some(j) => {
+                    // Context switch to the next pending request.
+                    ctx.charge_class(OpClass::Switch, ctx.cost().proc_switch);
+                    job = j;
+                }
+                None => return,
+            }
+        }
+    }
+}

@@ -856,6 +856,10 @@ fn spawn_worker(core: Arc<SimCore>) -> Arc<WorkerSlot> {
     let thread_slot = Arc::clone(&slot);
     std::thread::Builder::new()
         .name("xk-shepherd".into())
+        // Simulated processes run shallow protocol stacks; a small fixed
+        // stack lets load experiments hold thousands of processes in
+        // flight without exhausting process memory on thread stacks.
+        .stack_size(512 * 1024)
         .spawn(move || worker_main(core, thread_slot))
         .expect("spawning shepherd worker thread");
     slot

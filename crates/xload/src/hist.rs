@@ -1,0 +1,241 @@
+//! A log-scaled integer latency histogram.
+//!
+//! Fixed storage (1920 buckets, 32 sub-buckets per power of two), so
+//! recording is two shifts and an increment — no allocation, no floats —
+//! and the relative quantization error is bounded by 1/32 (~3%) at any
+//! magnitude. Everything derives `Eq`, so "two load runs produced the same
+//! latency distribution" is a single assert, which is how the harness
+//! states its determinism invariant.
+
+/// log2 of the sub-bucket count per octave.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave.
+const SUB: u64 = 1 << SUB_BITS;
+/// Total bucket count: indices for values 0..32, then 32 per octave up to
+/// `u64::MAX` (top octave shift = 58).
+const N_BUCKETS: usize = ((64 - SUB_BITS as usize) * SUB as usize) + SUB as usize;
+
+/// Bucket index of value `v`.
+fn index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let msb = 63 - u64::from(v.leading_zeros());
+        let shift = msb - u64::from(SUB_BITS);
+        (shift * SUB + (v >> shift)) as usize
+    }
+}
+
+/// Largest value landing in bucket `i` (the histogram's reported
+/// percentile values are these upper bounds, so they never understate).
+fn upper(i: usize) -> u64 {
+    let i = i as u64;
+    if i < SUB {
+        i
+    } else {
+        let shift = i / SUB - 1;
+        let sub = i - shift * SUB;
+        // (sub+1)<<shift − 1, written to stay in range for the top octave.
+        (sub << shift) | ((1u64 << shift) - 1)
+    }
+}
+
+/// The histogram. Construct with [`Hist::new`], feed with
+/// [`Hist::record`], combine client shards with [`Hist::merge`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hist {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Hist {
+        Hist::new()
+    }
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub fn new() -> Hist {
+        Hist {
+            counts: vec![0; N_BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample (nanoseconds).
+    pub fn record(&mut self, v: u64) {
+        self.counts[index(v)] += 1;
+        self.total += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&mut self, other: &Hist) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min_ns(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max_ns(&self) -> u64 {
+        self.max
+    }
+
+    /// Integer mean of the recorded samples (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            (self.sum / u128::from(self.total)) as u64
+        }
+    }
+
+    /// The value at quantile `num/den` (e.g. `percentile(999, 1000)` for
+    /// p99.9): an upper bound on the sample at rank `ceil(total·num/den)`,
+    /// clamped to the exact observed maximum. Returns 0 when empty.
+    pub fn percentile(&self, num: u64, den: u64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = (u128::from(self.total) * u128::from(num)).div_ceil(u128::from(den)) as u64;
+        let rank = rank.max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The standard summary row.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.total,
+            min_ns: self.min_ns(),
+            mean_ns: self.mean_ns(),
+            p50_ns: self.percentile(50, 100),
+            p90_ns: self.percentile(90, 100),
+            p99_ns: self.percentile(99, 100),
+            p999_ns: self.percentile(999, 1000),
+            max_ns: self.max_ns(),
+        }
+    }
+}
+
+/// One latency distribution, reduced to the quantiles the experiment
+/// section reports. All integers, so `Eq` states bit-identity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact minimum (ns).
+    pub min_ns: u64,
+    /// Integer mean (ns).
+    pub mean_ns: u64,
+    /// Median upper bound (ns).
+    pub p50_ns: u64,
+    /// 90th percentile upper bound (ns).
+    pub p90_ns: u64,
+    /// 99th percentile upper bound (ns).
+    pub p99_ns: u64,
+    /// 99.9th percentile upper bound (ns).
+    pub p999_ns: u64,
+    /// Exact maximum (ns).
+    pub max_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_tile_the_u64_range() {
+        // Every bucket's upper bound maps back to the same bucket, and
+        // bucket boundaries are adjacent.
+        for i in 0..N_BUCKETS {
+            assert_eq!(index(upper(i)), i, "bucket {i}");
+        }
+        for v in [0u64, 1, 31, 32, 33, 63, 64, 65, 1000, 1 << 20, u64::MAX] {
+            assert!(index(v) < N_BUCKETS, "value {v}");
+            assert!(upper(index(v)) >= v, "upper bound covers {v}");
+        }
+    }
+
+    #[test]
+    fn quantization_error_is_bounded() {
+        for v in [100u64, 10_000, 1_000_000, 123_456_789] {
+            let ub = upper(index(v));
+            assert!(ub >= v);
+            assert!(ub - v <= v / 32 + 1, "error at {v}: {}", ub - v);
+        }
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_clamped() {
+        let mut h = Hist::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min_ns, 1000);
+        assert_eq!(s.max_ns, 1_000_000);
+        assert!(s.p50_ns <= s.p90_ns && s.p90_ns <= s.p99_ns);
+        assert!(s.p99_ns <= s.p999_ns && s.p999_ns <= s.max_ns);
+        // p50 within quantization error of the true median.
+        assert!(s.p50_ns >= 500_000 && s.p50_ns <= 500_000 + 500_000 / 32 + 1);
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        let mut whole = Hist::new();
+        for v in 0..500u64 {
+            let x = (v * 7919) % 100_000;
+            if v % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+            whole.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let s = Hist::new().summary();
+        assert_eq!(s, LatencySummary::default());
+    }
+}

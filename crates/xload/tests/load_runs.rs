@@ -1,0 +1,131 @@
+//! End-to-end load-engine runs: determinism, all six stacks, the routed
+//! topology, and both shepherd overload policies.
+
+use xload::{GenMode, LoadSpec, LoadStack, Topology};
+
+fn base_spec(stack: LoadStack) -> LoadSpec {
+    LoadSpec {
+        stack,
+        topo: Topology::Segment { hosts: 2 },
+        gen: GenMode::Open { rate_cps: 300 },
+        duration_ns: 100_000_000,
+        payload: 32,
+        seed: 11,
+        shepherds: 0,
+        pending: 16,
+        reject: false,
+        trace: false,
+    }
+}
+
+#[test]
+fn closed_loop_is_deterministic_and_completes() {
+    let spec = LoadSpec {
+        gen: GenMode::Closed {
+            clients: 4,
+            think_ns: 2_000_000,
+        },
+        shepherds: 2,
+        pending: 8,
+        ..base_spec(LoadStack::Paper(xrpc::stacks::L_RPC_VIP))
+    };
+    let a = spec.run();
+    let b = spec.run();
+    assert_eq!(a, b, "same spec, same report");
+    assert!(a.completed > 0, "closed loop made progress: {}", a.label);
+    assert_eq!(a.failed, 0, "drop policy never errors a call");
+    assert_eq!(a.attempted, a.completed);
+    let l = a.latency;
+    assert!(l.min_ns > 0 && l.p50_ns <= l.p99_ns && l.p99_ns <= l.max_ns);
+    assert_eq!(l.count, a.completed);
+    // The pool actually ran the procedures.
+    assert_eq!(a.shepherd.submitted, a.shepherd.executed);
+    assert!(a.shepherd.submitted >= a.completed);
+}
+
+#[test]
+fn open_loop_drives_all_six_stacks() {
+    for stack in LoadStack::all() {
+        let r = base_spec(stack).run();
+        assert!(r.completed > 0, "{}: no calls completed", r.label);
+        assert_eq!(r.failed, 0, "{}: unexpected failures", r.label);
+        assert_eq!(r.attempted, r.completed, "{}", r.label);
+        assert!(
+            r.latency.p50_ns <= r.latency.p999_ns,
+            "{}: percentiles disordered",
+            r.label
+        );
+        assert!(r.offered_cps > 0 && r.goodput_cps > 0, "{}", r.label);
+    }
+}
+
+#[test]
+fn routed_topology_carries_load_across_the_gateway() {
+    let spec = LoadSpec {
+        topo: Topology::Routed { hosts: 2 },
+        ..base_spec(LoadStack::Paper(xrpc::stacks::M_RPC_IP))
+    };
+    let r = spec.run();
+    assert!(r.completed > 0, "{}: no calls crossed the router", r.label);
+    assert_eq!(r.failed, 0, "{}", r.label);
+    // Routed latency strictly exceeds a single segment's (two wires plus
+    // the forwarding hop).
+    let seg = base_spec(LoadStack::Paper(xrpc::stacks::M_RPC_IP)).run();
+    assert!(
+        r.latency.min_ns > seg.latency.min_ns,
+        "routing must cost wire time: {} vs {}",
+        r.latency.min_ns,
+        seg.latency.min_ns
+    );
+}
+
+#[test]
+fn reject_policy_surfaces_busy_to_clients() {
+    let spec = LoadSpec {
+        gen: GenMode::Open { rate_cps: 4000 },
+        duration_ns: 50_000_000,
+        shepherds: 1,
+        pending: 0,
+        reject: true,
+        ..base_spec(LoadStack::Paper(xrpc::stacks::L_RPC_VIP))
+    };
+    let r = spec.run();
+    assert!(
+        r.shepherd.rejected > 0,
+        "{}: overload never tripped",
+        r.label
+    );
+    assert!(
+        r.failed > 0,
+        "{}: rejection must surface as call errors",
+        r.label
+    );
+    assert!(r.completed > 0, "{}: some calls still complete", r.label);
+    assert_eq!(r.attempted, r.completed + r.failed);
+}
+
+#[test]
+fn drop_policy_retransmits_to_completion() {
+    let spec = LoadSpec {
+        gen: GenMode::Open { rate_cps: 1500 },
+        duration_ns: 50_000_000,
+        shepherds: 1,
+        pending: 1,
+        reject: false,
+        ..base_spec(LoadStack::Paper(xrpc::stacks::M_RPC_ETH))
+    };
+    let r = spec.run();
+    assert!(
+        r.shepherd.dropped > 0,
+        "{}: overload never tripped",
+        r.label
+    );
+    assert_eq!(
+        r.failed, 0,
+        "{}: dropped requests must be retried to completion",
+        r.label
+    );
+    assert_eq!(r.attempted, r.completed, "{}", r.label);
+    // Retransmissions show up as extra submissions beyond completions.
+    assert!(r.shepherd.submitted > r.completed, "{}", r.label);
+}
