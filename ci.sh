@@ -112,6 +112,42 @@ rm -rf "$XPROF_DIR"
 echo "==> trace-overhead smoke: disabled tracing allocates nothing"
 cargo test -q -p xkernel --test trace_overhead
 
+echo "==> check-overhead smoke: disabled checking allocates nothing"
+cargo test -q -p xkernel --test check_overhead
+
+echo "==> xcheck-smoke: exhaustive toy exploration"
+# Enumerates every interleaving of the concurrency toys under the dynamic
+# checker. The handshake must cover its full schedule space cleanly; the
+# deadlock toy must produce a DeadlockCycle with a repro on every schedule;
+# each summary line is schema-validated by the binary itself, and the greps
+# re-check the verdicts from the outside.
+XCHECK_OUT=$(mktemp /tmp/xcheck_smoke.XXXXXX)
+cargo run --release -q --bin xcheck > "$XCHECK_OUT"
+grep -q '"scenario":"handshake","mode":"exhaustive","schedules":6,"complete":true,"distinct_hashes":6,"violations":0' "$XCHECK_OUT" || {
+    echo "ci: handshake exploration did not cover all 6 schedules cleanly" >&2
+    exit 1
+}
+grep -q 'DeadlockCycle' "$XCHECK_OUT" || {
+    echo "ci: deadlock toy produced no DeadlockCycle" >&2
+    exit 1
+}
+grep -q 'repro: xcheck://seed=' "$XCHECK_OUT" || {
+    echo "ci: violations reported without repro strings" >&2
+    exit 1
+}
+[ "$(grep -c '"complete":true' "$XCHECK_OUT")" -eq 3 ] || {
+    echo "ci: expected all 3 toy explorations to complete" >&2
+    exit 1
+}
+rm -f "$XCHECK_OUT"
+
+echo "==> xk-lint --xcheck: concurrency rules on the deadlock toy"
+cargo build --release -q --bin xk-lint
+if target/release/xk-lint --xcheck --quiet specs/bad/deadlock-toy.xk; then
+    echo "ci: deadlock-toy.xk unexpectedly passes the concurrency rules" >&2
+    exit 1
+fi
+
 echo "==> xk-lint: built-in paper stacks"
 XK_LINT=target/release/xk-lint
 "$XK_LINT" --builtin --warn-as-error

@@ -39,8 +39,9 @@ use inet::with_concrete;
 use simnet::fault::{FaultPlan, FaultSchedule};
 use simnet::LanStats;
 use sunrpc::sunselect::SunSelect;
+use xkernel::check::CheckReport;
 use xkernel::prelude::*;
-use xkernel::sim::{RunReport, SimConfig};
+use xkernel::sim::{RunReport, ScheduleChooser, SimConfig};
 use xrpc::stacks::{StackDef, ALL_RPC_STACKS};
 
 /// Virtual-time gap between successive client calls, so a scenario's calls
@@ -323,6 +324,32 @@ pub struct ChaosReport {
     pub duplicate_execs: u32,
 }
 
+/// Internal knobs threaded through the scenario runners: structured
+/// tracing, the xcheck concurrency checker, and an optional scheduling
+/// oracle (installed only after the warm-up phase, so exploration covers
+/// the measured workload).
+#[derive(Default)]
+struct RunOpts {
+    trace: bool,
+    check: bool,
+    chooser: Option<Box<dyn ScheduleChooser>>,
+}
+
+/// A scenario run with the concurrency checker enabled: the ordinary
+/// report plus everything xcheck observed about this schedule.
+pub struct Verified {
+    /// The scenario outcome (bit-identical to [`Scenario::run`] when no
+    /// chooser steered the schedule — the checker only observes).
+    pub report: ChaosReport,
+    /// The checker's findings (happens-before violations, deadlock scan).
+    pub check: CheckReport,
+    /// One replayable repro string per violation, in the same order.
+    pub repros: Vec<String>,
+    /// Chaos invariants that failed on this schedule (empty on a clean
+    /// run); the non-panicking form of [`Scenario::check`].
+    pub invariant_failures: Vec<String>,
+}
+
 /// Mutable counters shared between the client/server closures and the
 /// report assembly.
 #[derive(Default)]
@@ -351,7 +378,40 @@ impl Scenario {
     /// Runs the scenario to completion and returns the report. Use
     /// [`Scenario::run_checked`] to also assert the invariants.
     pub fn run(&self) -> ChaosReport {
-        self.run_inner(false)
+        self.run_inner(RunOpts::default()).0
+    }
+
+    /// Runs the scenario with the xcheck concurrency checker enabled:
+    /// vector-clock happens-before tracking, deadlock/lost-wakeup
+    /// detection, and per-violation repro strings. The checker only
+    /// observes, so the report is bit-identical to [`Scenario::run`].
+    pub fn run_verified(&self) -> Verified {
+        self.run_verified_inner(None)
+    }
+
+    /// [`Scenario::run_verified`] with a scheduling oracle steering every
+    /// same-time event tie — one schedule out of xcheck's bounded
+    /// exploration. The chooser is installed after warm-up, so its
+    /// decisions cover only the measured workload.
+    pub fn run_verified_with(&self, chooser: Box<dyn ScheduleChooser>) -> Verified {
+        self.run_verified_inner(Some(chooser))
+    }
+
+    fn run_verified_inner(&self, chooser: Option<Box<dyn ScheduleChooser>>) -> Verified {
+        let (report, sim) = self.run_inner(RunOpts {
+            trace: false,
+            check: true,
+            chooser,
+        });
+        let check = sim.check_report();
+        let repros = check.violations.iter().map(|v| sim.repro(v)).collect();
+        let invariant_failures = self.invariant_failures(&report);
+        Verified {
+            report,
+            check,
+            repros,
+            invariant_failures,
+        }
     }
 
     /// Runs the scenario with structured tracing enabled, so the returned
@@ -361,19 +421,23 @@ impl Scenario {
     /// never adds any, so the virtual-time outcome is bit-identical to
     /// [`Scenario::run`].
     pub fn run_traced(&self) -> ChaosReport {
-        self.run_inner(true)
+        self.run_inner(RunOpts {
+            trace: true,
+            ..RunOpts::default()
+        })
+        .0
     }
 
-    fn run_inner(&self, trace: bool) -> ChaosReport {
+    fn run_inner(&self, opts: RunOpts) -> (ChaosReport, Sim) {
         match self.stack {
-            StackKind::Paper(def) => self.run_rpc(RpcFlavor::Paper(def), trace),
+            StackKind::Paper(def) => self.run_rpc(RpcFlavor::Paper(def), opts),
             StackKind::SunRpcUdp => self.run_rpc(
                 RpcFlavor::SunRpc(
                     "request_reply -> udp\n\
                  auth: auth_unix uid=1000 machine=sun3 allow=1000 -> request_reply\n\
                  sunselect -> auth\n",
                 ),
-                trace,
+                opts,
             ),
             StackKind::SunRpcChannel => self.run_rpc(
                 RpcFlavor::SunRpc(
@@ -382,9 +446,9 @@ impl Scenario {
                  channel -> fragment\n\
                  sunselect -> channel\n",
                 ),
-                trace,
+                opts,
             ),
-            StackKind::Psync => self.run_psync(trace),
+            StackKind::Psync => self.run_psync(opts),
         }
     }
 
@@ -397,48 +461,70 @@ impl Scenario {
 
     /// Asserts the harness invariants against a report from this scenario.
     pub fn check(&self, r: &ChaosReport) {
-        assert_eq!(r.run.blocked, 0, "{}: processes left blocked", r.label);
-        assert_eq!(
-            r.garbage, 0,
-            "{}: corrupt payload reached a server",
-            r.label
+        let failures = self.invariant_failures(r);
+        assert!(
+            failures.is_empty(),
+            "chaos invariants violated:\n{}",
+            failures.join("\n")
         );
-        assert_eq!(r.mismatched, 0, "{}: reply did not match request", r.label);
-        assert_eq!(
-            (r.failed, r.completed),
-            (0, r.attempted),
-            "{}: bounded completion violated ({} of {} calls)",
-            r.label,
-            r.completed,
-            r.attempted
-        );
-        if self.stack.at_most_once() {
-            assert_eq!(
-                r.executed, r.attempted,
-                "{}: at-most-once violated",
-                r.label
-            );
-            assert_eq!(
-                r.duplicate_execs, 0,
-                "{}: a call's payload executed more than once",
-                r.label
-            );
-        } else {
-            assert!(
-                r.executed >= r.completed,
-                "{}: zero-or-more executed fewer times than it completed",
-                r.label
-            );
-        }
     }
 
-    fn two_host_rig(&self, extra_graph: &str, trace: bool) -> TwoHosts {
+    /// The non-panicking form of [`Scenario::check`]: every chaos
+    /// invariant that fails on `r`, as messages. xcheck's schedule
+    /// explorer uses this to assert the invariants on *every* explored
+    /// schedule and keep exploring past a failure.
+    pub fn invariant_failures(&self, r: &ChaosReport) -> Vec<String> {
+        let mut f = Vec::new();
+        if r.run.blocked != 0 {
+            f.push(format!(
+                "{}: {} processes left blocked",
+                r.label, r.run.blocked
+            ));
+        }
+        if r.garbage != 0 {
+            f.push(format!("{}: corrupt payload reached a server", r.label));
+        }
+        if r.mismatched != 0 {
+            f.push(format!("{}: reply did not match request", r.label));
+        }
+        if r.failed != 0 || r.completed != r.attempted {
+            f.push(format!(
+                "{}: bounded completion violated ({} of {} calls, {} failed)",
+                r.label, r.completed, r.attempted, r.failed
+            ));
+        }
+        if self.stack.at_most_once() {
+            if r.executed != r.attempted {
+                f.push(format!(
+                    "{}: at-most-once violated ({} executions for {} calls)",
+                    r.label, r.executed, r.attempted
+                ));
+            }
+            if r.duplicate_execs != 0 {
+                f.push(format!(
+                    "{}: a call's payload executed more than once",
+                    r.label
+                ));
+            }
+        } else if r.executed < r.completed {
+            f.push(format!(
+                "{}: zero-or-more executed fewer times than it completed",
+                r.label
+            ));
+        }
+        f
+    }
+
+    fn two_host_rig(&self, extra_graph: &str, opts: &RunOpts) -> TwoHosts {
         let mut reg = base_registry();
         xrpc::register_ctors(&mut reg);
         sunrpc::register_ctors(&mut reg);
         let mut cfg = SimConfig::scheduled().with_seed(self.seed);
-        if trace {
+        if opts.trace {
             cfg = cfg.with_trace();
+        }
+        if opts.check {
+            cfg = cfg.with_check();
         }
         two_hosts(cfg, &reg, extra_graph).expect("chaos testbed builds")
     }
@@ -453,12 +539,12 @@ impl Scenario {
         tb.net.set_fault_schedule(tb.lan, sched);
     }
 
-    fn run_rpc(&self, flavor: RpcFlavor, trace: bool) -> ChaosReport {
+    fn run_rpc(&self, flavor: RpcFlavor, opts: RunOpts) -> (ChaosReport, Sim) {
         let graph = match flavor {
             RpcFlavor::Paper(def) => def.graph,
             RpcFlavor::SunRpc(g) => g,
         };
-        let tb = self.two_host_rig(graph, trace);
+        let tb = self.two_host_rig(graph, &opts);
         let tally = Arc::new(Mutex::new(Tally::default()));
 
         // Server: a side-effecting procedure that verifies the request's
@@ -493,6 +579,9 @@ impl Scenario {
 
         warm_arp(&tb.sim, tb.client.host(), tb.server_ip);
         self.install_schedule(&tb);
+        if let Some(ch) = opts.chooser {
+            tb.sim.set_chooser(ch);
+        }
 
         // Clients: a population of closed-loop processes, each issuing
         // sequential calls spaced over the fault windows. Client 0 uses the
@@ -537,10 +626,11 @@ impl Scenario {
             });
         }
         let run = tb.sim.run_until_idle();
-        self.report(run, tb.net.stats(tb.lan), &tally, calls * population)
+        let report = self.report(run, tb.net.stats(tb.lan), &tally, calls * population);
+        (report, tb.sim.clone())
     }
 
-    fn run_psync(&self, trace: bool) -> ChaosReport {
+    fn run_psync(&self, opts: RunOpts) -> (ChaosReport, Sim) {
         assert!(
             self.profile.is_lossless(),
             "{}: psync has no retransmission; only lossless profiles apply",
@@ -555,8 +645,11 @@ impl Scenario {
         xrpc::register_ctors(&mut reg);
         psync::register_ctors(&mut reg);
         let mut cfg = SimConfig::scheduled().with_seed(self.seed);
-        if trace {
+        if opts.trace {
             cfg = cfg.with_trace();
+        }
+        if opts.check {
+            cfg = cfg.with_check();
         }
         let rig = lan_hosts(cfg, &reg, "vip -> ip eth arp\npsync -> vip\n", 2)
             .expect("psync testbed builds");
@@ -579,6 +672,9 @@ impl Scenario {
             false,
         );
         rig.net.set_fault_schedule(rig.lan, sched);
+        if let Some(ch) = opts.chooser {
+            rig.sim.set_chooser(ch);
+        }
 
         let tally = Arc::new(Mutex::new(Tally::default()));
         let (seed, rounds) = (self.seed, self.calls);
@@ -626,7 +722,8 @@ impl Scenario {
         });
 
         let run = rig.sim.run_until_idle();
-        self.report(run, rig.net.stats(rig.lan), &tally, self.calls)
+        let report = self.report(run, rig.net.stats(rig.lan), &tally, self.calls);
+        (report, rig.sim.clone())
     }
 
     fn report(

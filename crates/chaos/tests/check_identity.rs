@@ -1,0 +1,73 @@
+//! The dynamic checker only observes: a scenario run with checking
+//! enabled produces a report **bit-identical** (`Eq`) to the plain run —
+//! same virtual end time, same counters, same schedule fingerprint — on
+//! representative stacks under fault-free and faulty profiles, and the
+//! checker finds no violations on any of them.
+
+use chaos::{Profile, Scenario, StackKind};
+
+fn scenario(stack: StackKind, profile: Profile) -> Scenario {
+    Scenario {
+        stack,
+        profile,
+        seed: 11,
+        calls: 4,
+        population: 1,
+    }
+}
+
+#[test]
+fn checked_runs_are_bit_identical_to_plain_runs() {
+    for (stack, profile) in [
+        (
+            StackKind::Paper(xrpc::stacks::L_RPC_VIP),
+            Profile::FaultFree,
+        ),
+        (StackKind::Paper(xrpc::stacks::L_RPC_VIP), Profile::Lossy),
+        (StackKind::SunRpcChannel, Profile::Bursty),
+        (StackKind::Psync, Profile::FaultFree),
+    ] {
+        let sc = scenario(stack, profile);
+        let plain = sc.run();
+        let verified = sc.run_verified();
+        assert_eq!(
+            plain, verified.report,
+            "{stack:?}/{profile:?}: checking must be a pure observer"
+        );
+        assert!(
+            verified.check.enabled && verified.check.lps > 0,
+            "checker actually ran"
+        );
+        assert!(
+            verified.check.violations.is_empty(),
+            "{stack:?}/{profile:?}: {:?}",
+            verified.repros
+        );
+        assert!(
+            verified.invariant_failures.is_empty(),
+            "{:?}",
+            verified.invariant_failures
+        );
+    }
+}
+
+/// The real RPC stacks exercise the checker's full vocabulary: reply
+/// semaphores (signal-style), pool semaphores, timeout waits — none may
+/// surface as false positives.
+#[test]
+fn repeated_calls_do_not_false_positive_on_reply_semaphores() {
+    let sc = Scenario {
+        stack: StackKind::Paper(xrpc::stacks::L_RPC_VIP),
+        profile: Profile::FaultFree,
+        seed: 3,
+        calls: 8,
+        population: 2,
+    };
+    let v = sc.run_verified();
+    assert!(
+        v.check.violations.is_empty(),
+        "reply semaphores are P'd repeatedly by design: {:?}",
+        v.repros
+    );
+    assert!(v.check.hb_edges > 0, "cross-process joins observed");
+}

@@ -2,7 +2,7 @@
 //! the layered SELECT/CHANNEL/FRAGMENT decomposition, the virtual
 //! protocols (VIP and variants), and the `pinger` measurement harness.
 
-use xkernel::lint::{AddrKind, ProtoContract, SemaContract};
+use xkernel::lint::{AddrKind, BlockPoint, ProtoContract, SemaContract};
 
 use crate::hdr::{CHANNEL_HDR_LEN, FRAGMENT_HDR_LEN, SELECT_HDR_LEN, SPRITE_HDR_LEN};
 
@@ -11,6 +11,13 @@ const REPLY_WAITER: SemaContract = SemaContract {
     awaits_reply: true,
     wakes_from_demux: true,
 };
+
+/// The lock-acquisition order every blocking layer observes inside the
+/// kernel: the scheduler lock strictly before the per-host state lock
+/// (`sim.rs` documents sched -> hosts -> trace; trace is a leaf no
+/// protocol touches directly). XK015 rejects any contract set that merges
+/// into a cycle with this.
+const KERNEL_LOCKS: [&str; 2] = ["sched", "hosts"];
 
 /// Monolithic Sprite RPC: delivery over internet or raw-hardware
 /// addressing (ARP as an optional trailing resolver capability);
@@ -28,19 +35,28 @@ pub fn sprite() -> ProtoContract {
         .param("pending", false, true)
         .param("policy", false, false)
         .sema(REPLY_WAITER)
+        .blocks(&[BlockPoint::Sema, BlockPoint::Timer])
+        .locks(&KERNEL_LOCKS)
+        .clears_slot_on_error()
+        .crashable()
+        .reboots()
 }
 
 /// FRAGMENT: cuts oversized messages to the lower layer's packet size.
+/// Holds reassembly state that must be dropped on reboot.
 pub fn fragment() -> ProtoContract {
     ProtoContract::new("fragment", AddrKind::Internet)
         .lower(&[AddrKind::Internet])
         .header(FRAGMENT_HDR_LEN)
         .fragments()
         .demux_key_bits(32)
+        .crashable()
+        .reboots()
 }
 
 /// CHANNEL: at-most-once request/reply; the layer that owns the blocking
-/// reply wait in the layered stack.
+/// reply wait in the layered stack. `clears_slot_on_error` records the PR 2
+/// audit: timeout and push-failure paths both release the channel slot.
 pub fn channel() -> ProtoContract {
     ProtoContract::new("channel", AddrKind::Rpc)
         .lower(&[AddrKind::Internet])
@@ -52,6 +68,11 @@ pub fn channel() -> ProtoContract {
             awaits_reply: true,
             wakes_from_demux: true,
         })
+        .blocks(&[BlockPoint::Sema, BlockPoint::Timer])
+        .locks(&KERNEL_LOCKS)
+        .clears_slot_on_error()
+        .crashable()
+        .reboots()
 }
 
 /// SELECT: procedure selection + channel allocation. Its semaphore is a
@@ -71,6 +92,10 @@ pub fn select() -> ProtoContract {
             awaits_reply: false,
             wakes_from_demux: false,
         })
+        .blocks(&[BlockPoint::Sema])
+        .locks(&KERNEL_LOCKS)
+        .crashable()
+        .reboots()
 }
 
 /// RDGRAM: reliable datagrams over CHANNEL.

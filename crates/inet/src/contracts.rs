@@ -5,7 +5,7 @@
 //! shepherd-semaphore behavior. Kept beside the constructors so a protocol
 //! change and its contract change land in the same crate.
 
-use xkernel::lint::{AddrKind, ProtoContract, SemaContract};
+use xkernel::lint::{AddrKind, BlockPoint, ProtoContract, SemaContract};
 
 use crate::eth::ETH_HDR_LEN;
 use crate::icmp::ICMP_HDR_LEN;
@@ -19,6 +19,7 @@ pub fn eth() -> ProtoContract {
         .lower(&[AddrKind::Device])
         .header(ETH_HDR_LEN)
         .demux_key_bits(16) // ethertype
+        .blocks(&[BlockPoint::Wire])
 }
 
 /// ARP: an address-resolution service over ETH; off the data path.
@@ -27,6 +28,7 @@ pub fn arp() -> ProtoContract {
         .lower(&[AddrKind::Hardware])
         .param("ip", true, false)
         .param("cache", false, true)
+        .blocks(&[BlockPoint::Timer]) // request retries
 }
 
 /// IP: internet addressing over repeating `(eth, arp)` interface pairs;
@@ -43,6 +45,8 @@ pub fn ip() -> ProtoContract {
         .param("mask", false, false)
         .param("gw", false, false)
         .param("mtu", false, false)
+        .crashable()
+        .reboots() // drops reassembly state
 }
 
 /// UDP: port addressing over anything internet-like.
@@ -77,4 +81,7 @@ pub fn tcp() -> ProtoContract {
             awaits_reply: true,
             wakes_from_demux: true,
         })
+        .blocks(&[BlockPoint::Sema, BlockPoint::Timer])
+        .locks(&["sched", "hosts"])
+        .clears_slot_on_error() // connect failure frees the port binding
 }

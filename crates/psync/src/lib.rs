@@ -325,7 +325,7 @@ impl Protocol for Psync {
 /// dependency; 64 bounds the dependency sets this suite produces. Sends
 /// block the shepherd on the availability semaphore, V'd from demux.
 pub fn psync_contract() -> xkernel::lint::ProtoContract {
-    use xkernel::lint::{AddrKind, ProtoContract, SemaContract};
+    use xkernel::lint::{AddrKind, BlockPoint, ProtoContract, SemaContract};
     ProtoContract::new("psync", AddrKind::Rpc)
         .lower(&[AddrKind::Internet])
         .header(64)
@@ -335,6 +335,9 @@ pub fn psync_contract() -> xkernel::lint::ProtoContract {
             awaits_reply: true,
             wakes_from_demux: true,
         })
+        .blocks(&[BlockPoint::Sema, BlockPoint::Timer])
+        .locks(&["sched", "hosts"])
+        .clears_slot_on_error() // receive timeout abandons the waiter entry
 }
 
 /// Registers `psync -> <fragment|vip|ip>` into the graph vocabulary.

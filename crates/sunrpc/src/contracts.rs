@@ -1,6 +1,6 @@
 //! Lint contracts for the Sun RPC decomposition.
 
-use xkernel::lint::{AddrKind, ProtoContract, SemaContract};
+use xkernel::lint::{AddrKind, BlockPoint, ProtoContract, SemaContract};
 
 use crate::rr::RR_HDR_LEN;
 use crate::sunselect::SUNSEL_HDR_LEN;
@@ -19,6 +19,12 @@ pub fn request_reply() -> ProtoContract {
             awaits_reply: true,
             wakes_from_demux: true,
         })
+        .blocks(&[BlockPoint::Sema, BlockPoint::Timer])
+        .locks(&["sched", "hosts"])
+        .clears_slot_on_error() // sync-push failure and retry exhaustion both
+        // drop the outstanding-call entry (rr.rs)
+        .crashable()
+        .reboots()
 }
 
 /// The composable auth layers (`auth_none`, `auth_unix`): an XDR
@@ -46,4 +52,6 @@ pub fn sunselect() -> ProtoContract {
         .lower(&[AddrKind::Rpc])
         .header(SUNSEL_HDR_LEN)
         .demux_key_bits(32)
+        .crashable()
+        .reboots()
 }

@@ -1,0 +1,121 @@
+//! The machine-readable exploration summary (`xcheck-v1`).
+//!
+//! Every xcheck run — exhaustive or random-walk — ends by emitting one
+//! JSON object describing what was covered, so CI and downstream tools
+//! can gate on it without parsing human-oriented output. The schema is
+//! deliberately flat and hand-rolled (the workspace carries no JSON
+//! dependency): string values contain no characters needing escapes.
+
+/// The `schema` tag stamped on every summary object.
+pub const SCHEMA: &str = "xcheck-v1";
+
+/// One exploration's coverage and verdict, serializable as `xcheck-v1`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Summary {
+    /// Scenario name (`handshake`, `deadlock`, `crosshost`, or a chaos
+    /// stack label).
+    pub scenario: String,
+    /// `exhaustive` or `walk`.
+    pub mode: String,
+    /// Schedules visited.
+    pub schedules: usize,
+    /// `true` when the schedule space was fully enumerated.
+    pub complete: bool,
+    /// Distinct `sched_hash` fingerprints among visited schedules.
+    pub distinct_hashes: usize,
+    /// Checker violations summed over all schedules.
+    pub violations: usize,
+    /// Chaos invariant failures summed over all schedules.
+    pub invariant_failures: usize,
+}
+
+impl Summary {
+    /// Renders the summary as one `xcheck-v1` JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"schema\":\"{}\",\"scenario\":\"{}\",\"mode\":\"{}\",\
+             \"schedules\":{},\"complete\":{},\"distinct_hashes\":{},\
+             \"violations\":{},\"invariant_failures\":{}}}",
+            SCHEMA,
+            self.scenario,
+            self.mode,
+            self.schedules,
+            self.complete,
+            self.distinct_hashes,
+            self.violations,
+            self.invariant_failures,
+        )
+    }
+}
+
+/// Keys every `xcheck-v1` summary must carry, in emission order.
+const REQUIRED_KEYS: [&str; 8] = [
+    "schema",
+    "scenario",
+    "mode",
+    "schedules",
+    "complete",
+    "distinct_hashes",
+    "violations",
+    "invariant_failures",
+];
+
+/// Validates that `json` is a structurally sound `xcheck-v1` summary:
+/// one flat object, balanced quotes and braces, the exact schema tag,
+/// and every required key present. Returns the offending detail on
+/// failure.
+pub fn validate_summary(json: &str) -> Result<(), String> {
+    let s = json.trim();
+    if !s.starts_with('{') || !s.ends_with('}') {
+        return Err("summary is not a JSON object".into());
+    }
+    if s.matches('{').count() != 1 || s.matches('}').count() != 1 {
+        return Err("summary must be one flat object".into());
+    }
+    if !s.matches('"').count().is_multiple_of(2) {
+        return Err("unbalanced quotes".into());
+    }
+    if !s.contains(&format!("\"schema\":\"{SCHEMA}\"")) {
+        return Err(format!("missing schema tag {SCHEMA:?}"));
+    }
+    for key in REQUIRED_KEYS {
+        if !s.contains(&format!("\"{key}\":")) {
+            return Err(format!("missing key {key:?}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Summary {
+        Summary {
+            scenario: "handshake".into(),
+            mode: "exhaustive".into(),
+            schedules: 6,
+            complete: true,
+            distinct_hashes: 6,
+            violations: 0,
+            invariant_failures: 0,
+        }
+    }
+
+    #[test]
+    fn emitted_summaries_validate() {
+        let json = sample().to_json();
+        assert!(json.contains("\"schema\":\"xcheck-v1\""), "{json}");
+        validate_summary(&json).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_malformed_summaries() {
+        assert!(validate_summary("not json").is_err());
+        assert!(validate_summary("{\"schema\":\"xcheck-v0\"}").is_err());
+        let missing = sample().to_json().replace("\"complete\":true,", "");
+        assert!(validate_summary(&missing).is_err());
+        let nested = sample().to_json().replace("0}", "0,\"x\":{}}");
+        assert!(validate_summary(&nested).is_err());
+    }
+}

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod check;
 pub mod cost;
 pub mod error;
 pub mod graph;

@@ -22,6 +22,12 @@
 //! | XK008 | Error/Warning | header budget: un-refragmentable headers exceed the wire MTU (Error); total path headers exceed the message headroom so pushes fall back to allocation (Warning) |
 //! | XK009 | Error/Warning | constructor-param schema: missing required key or non-numeric value (Error), unknown key (Warning) |
 //! | XK010 | Error/Warning | semaphore discipline: a layer blocks a shepherd on a reply with no demux-time signaler (Error); two reply-waiting layers nested on one path (Warning) |
+//! | XK011 | Error    | a layer blocks on a reply semaphore without declaring that error paths release its transaction slot (`clears_slot_on_error`) — the slot-leak class PR 2 fixed by hand |
+//! | XK012 | Error    | a demux-signalled reply wait whose lower subtree never reaches a device: nothing can ever arrive to run the signaler |
+//! | XK013 | Error    | blocking-point declarations incomplete: the semaphore contract (or a device-kind lower slot) implies blocking ops the contract does not declare; declarations mirror the trace ledger's `Sema`/`Timer`/`Device` op-classes |
+//! | XK014 | Warning  | excess blocking-point declaration: `Wire` declared but no device-kind lower slot exists |
+//! | XK015 | Error    | conflicting lock-acquisition orders across the spec's contracts (the Sched/Hosts split discipline): the merged order relation has a cycle |
+//! | XK016 | Error    | a crash-restartable (`crashable`) protocol without a reboot hook: survivors would wake into stale conversation state |
 //!
 //! ## Suppression
 //!
@@ -65,6 +71,29 @@ pub mod rules {
     pub const PARAM_SCHEMA: &str = "XK009";
     /// Shepherd semaphore-discipline violation.
     pub const SEMA_DISCIPLINE: &str = "XK010";
+    /// Reply wait without a declared error-path slot release.
+    pub const WAIT_HOLDING_SLOT: &str = "XK011";
+    /// Demux-signalled wait with no device under it to drive the signaler.
+    pub const SIGNAL_PATH: &str = "XK012";
+    /// Blocking-point declarations missing ops the contract implies.
+    pub const BLOCK_DECL: &str = "XK013";
+    /// Blocking-point declaration with no justification in the contract.
+    pub const BLOCK_DECL_EXCESS: &str = "XK014";
+    /// Conflicting lock-acquisition orders across the spec.
+    pub const LOCK_ORDER: &str = "XK015";
+    /// Crashable protocol without a reboot hook.
+    pub const REBOOT_HOOKS: &str = "XK016";
+
+    /// The concurrency-verifier subset (`xk-lint --xcheck`): XK010–XK016.
+    pub const XCHECK: [&str; 7] = [
+        SEMA_DISCIPLINE,
+        WAIT_HOLDING_SLOT,
+        SIGNAL_PATH,
+        BLOCK_DECL,
+        BLOCK_DECL_EXCESS,
+        LOCK_ORDER,
+        REBOOT_HOOKS,
+    ];
 }
 
 /// The kind of address a protocol speaks at its upper interface.
@@ -134,6 +163,42 @@ pub struct ParamSpec {
     pub numeric: bool,
 }
 
+/// One kind of operation a protocol may block a shepherd process on.
+///
+/// Each variant mirrors an op-class the trace ledger records at run time
+/// (`OpClass::Sema`, `OpClass::Timer`, `OpClass::Device`), so the static
+/// declaration is checkable against what the simulator actually observes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BlockPoint {
+    /// Blocks on a semaphore (`Sema::p`, a reply wait or a pool acquire).
+    Sema,
+    /// Blocks with a timer armed (`p_timeout`, retransmission machinery).
+    Timer,
+    /// Blocks on wire/device occupancy (the NIC-facing layer).
+    Wire,
+}
+
+impl BlockPoint {
+    /// The trace-ledger op-class name this blocking point maps to.
+    pub fn op_class_name(self) -> &'static str {
+        match self {
+            BlockPoint::Sema => "Sema",
+            BlockPoint::Timer => "Timer",
+            BlockPoint::Wire => "Device",
+        }
+    }
+}
+
+impl fmt::Display for BlockPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BlockPoint::Sema => "sema",
+            BlockPoint::Timer => "timer",
+            BlockPoint::Wire => "wire",
+        })
+    }
+}
+
 /// The wait/signal pairs a protocol's sessions perform on shepherd
 /// semaphores, declared statically so XK010 can reason about deadlocks
 /// without executing `sim.rs`.
@@ -180,6 +245,19 @@ pub struct ProtoContract {
     pub params: Vec<ParamSpec>,
     /// Shepherd semaphore behavior.
     pub sema: SemaContract,
+    /// The operations this protocol may block a shepherd on (XK013/XK014).
+    pub blocking: Vec<BlockPoint>,
+    /// Lock-acquisition order this protocol's code observes, outermost
+    /// first. Merged across the whole spec and checked for cycles (XK015).
+    pub lock_order: Vec<String>,
+    /// `true` if the protocol participates in crash/restart testing and is
+    /// expected to survive a host reboot (XK016).
+    pub crashable: bool,
+    /// `true` if the protocol implements the `reboot` hook (XK016).
+    pub has_reboot: bool,
+    /// `true` if every error path out of a blocking reply wait releases the
+    /// transaction slot (channel/outstanding-call entry) it holds (XK011).
+    pub clears_slot_on_error: bool,
 }
 
 impl ProtoContract {
@@ -198,6 +276,11 @@ impl ProtoContract {
             optional: Vec::new(),
             params: Vec::new(),
             sema: SemaContract::default(),
+            blocking: Vec::new(),
+            lock_order: Vec::new(),
+            crashable: false,
+            has_reboot: false,
+            clears_slot_on_error: false,
         }
     }
 
@@ -290,6 +373,38 @@ impl ProtoContract {
     /// Sets the semaphore behavior.
     pub fn sema(mut self, sema: SemaContract) -> ProtoContract {
         self.sema = sema;
+        self
+    }
+
+    /// Declares the operations this protocol may block a shepherd on.
+    pub fn blocks(mut self, points: &[BlockPoint]) -> ProtoContract {
+        self.blocking = points.to_vec();
+        self
+    }
+
+    /// Declares the lock-acquisition order this protocol observes,
+    /// outermost lock first.
+    pub fn locks(mut self, order: &[&str]) -> ProtoContract {
+        self.lock_order = order.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Marks the protocol as participating in crash/restart testing.
+    pub fn crashable(mut self) -> ProtoContract {
+        self.crashable = true;
+        self
+    }
+
+    /// Records that the protocol implements the `reboot` hook.
+    pub fn reboots(mut self) -> ProtoContract {
+        self.has_reboot = true;
+        self
+    }
+
+    /// Records the audited guarantee that error paths out of a blocking
+    /// reply wait release the transaction slot they hold.
+    pub fn clears_slot_on_error(mut self) -> ProtoContract {
+        self.clears_slot_on_error = true;
         self
     }
 }
@@ -482,8 +597,13 @@ pub fn lint_spec(
                 hint: "V the reply semaphore from demux, or stop blocking in push".into(),
             });
         }
+        check_slot_discipline(name, node, &mut diags);
+        check_block_decls(name, node, &mut diags);
+        check_reboot_hooks(name, node, &mut diags);
+        check_signal_path(name, node, &by_name, externals, &mut diags);
     }
 
+    check_lock_order(&nodes, &mut diags);
     check_paths(&nodes, &by_name, externals, &mut diags);
 
     diags.retain(|d| !allow.contains(d.rule));
@@ -662,6 +782,261 @@ fn check_params(name: &str, node: &Node, diags: &mut Vec<Diagnostic>) {
                 message: format!("'{}' does not take param '{key}' (ignored)", node.ctor),
                 hint: "remove the parameter or fix its spelling".into(),
             });
+        }
+    }
+}
+
+/// True when any lower slot of the contract (required, repeating, or
+/// optional) explicitly accepts device-kind producers.
+fn has_device_slot(c: &ProtoContract) -> bool {
+    c.lowers
+        .iter()
+        .chain(c.repeat.iter().flatten())
+        .chain(c.optional.iter())
+        .any(|s| s.kinds.contains(&AddrKind::Device))
+}
+
+/// XK011: a layer that parks a shepherd on a reply semaphore holds a
+/// transaction slot (a channel, an outstanding-call entry) for the duration
+/// of the wait. Unless the contract records the audited guarantee that
+/// every error path releases that slot, the wait is assumed to leak it —
+/// the bug class PR 2 found by hand in `channel.rs`.
+fn check_slot_discipline(name: &str, node: &Node, diags: &mut Vec<Diagnostic>) {
+    let c = &node.contract;
+    if c.sema.awaits_reply && !c.clears_slot_on_error {
+        diags.push(Diagnostic {
+            rule: rules::WAIT_HOLDING_SLOT,
+            severity: Severity::Error,
+            line: node.line,
+            instance: name.to_string(),
+            message: format!(
+                "'{}' blocks on a reply semaphore while holding its transaction slot, \
+                 and does not declare that error paths release the slot: a timeout or \
+                 push failure leaks the channel",
+                node.ctor
+            ),
+            hint: "audit every error path out of the wait, then declare \
+                   clears_slot_on_error() on the contract"
+                .into(),
+        });
+    }
+}
+
+/// XK013 (Error) / XK014 (Warning): blocking-point declarations versus what
+/// the rest of the contract implies. A reply wait blocks on a semaphore
+/// with a timeout timer armed; a pool acquire blocks on a semaphore; a
+/// device-kind lower slot means the layer waits on wire occupancy. Each
+/// declared point mirrors a trace-ledger op-class, so the declaration is
+/// what the dynamic checker (and a future cooperative scheduler) can trust.
+fn check_block_decls(name: &str, node: &Node, diags: &mut Vec<Diagnostic>) {
+    let c = &node.contract;
+    if c.produces == Produce::Opaque {
+        return;
+    }
+    let declared = |p: BlockPoint| c.blocking.contains(&p);
+    let mut missing: Vec<BlockPoint> = Vec::new();
+    if (c.sema.awaits_reply || c.sema.acquires_pool) && !declared(BlockPoint::Sema) {
+        missing.push(BlockPoint::Sema);
+    }
+    if c.sema.awaits_reply && !declared(BlockPoint::Timer) {
+        missing.push(BlockPoint::Timer);
+    }
+    if has_device_slot(c) && !declared(BlockPoint::Wire) {
+        missing.push(BlockPoint::Wire);
+    }
+    if !missing.is_empty() {
+        let classes: Vec<&str> = missing.iter().map(|p| p.op_class_name()).collect();
+        diags.push(Diagnostic {
+            rule: rules::BLOCK_DECL,
+            severity: Severity::Error,
+            line: node.line,
+            instance: name.to_string(),
+            message: format!(
+                "'{}' blocks shepherds on undeclared operations: contract implies \
+                 {missing:?} (trace op-classes {classes:?}) but blocks() omits them",
+                node.ctor
+            ),
+            hint: "declare every blocking op with .blocks(&[...]) so the ledger's \
+                   op-classes can be cross-checked against the contract"
+                .into(),
+        });
+    }
+    if declared(BlockPoint::Wire) && !has_device_slot(c) {
+        diags.push(Diagnostic {
+            rule: rules::BLOCK_DECL_EXCESS,
+            severity: Severity::Warning,
+            line: node.line,
+            instance: name.to_string(),
+            message: format!(
+                "'{}' declares a wire blocking point but has no device-kind lower \
+                 slot: nothing in this layer can wait on the NIC",
+                node.ctor
+            ),
+            hint: "drop BlockPoint::Wire from blocks(), or add the device lower".into(),
+        });
+    }
+}
+
+/// XK016: a protocol marked crash-restartable must implement the `reboot`
+/// hook, or its survivors wake into conversation state from a dead epoch.
+fn check_reboot_hooks(name: &str, node: &Node, diags: &mut Vec<Diagnostic>) {
+    let c = &node.contract;
+    if c.crashable && !c.has_reboot {
+        diags.push(Diagnostic {
+            rule: rules::REBOOT_HOOKS,
+            severity: Severity::Error,
+            line: node.line,
+            instance: name.to_string(),
+            message: format!(
+                "'{}' is declared crashable but has no reboot hook: after a host \
+                 restart its sessions keep pre-crash sequence/channel state",
+                node.ctor
+            ),
+            hint: "implement Protocol::reboot (and declare .reboots()), or drop \
+                   .crashable() if the protocol is never crash-tested"
+                .into(),
+        });
+    }
+}
+
+/// XK012: a layer whose reply waits are signalled from demux can only ever
+/// be woken by an arriving frame, which means a device must be reachable
+/// somewhere beneath it. If the transitive lower closure never reaches a
+/// device-kind producer, the signaler can never fire and every wait times
+/// out. (Opaque contracts in the closure make the check inconclusive and
+/// suppress it.)
+fn check_signal_path(
+    name: &str,
+    node: &Node,
+    by_name: &HashMap<&str, &Node>,
+    externals: &HashMap<String, ProtoContract>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let c = &node.contract;
+    if !(c.sema.awaits_reply && c.sema.wakes_from_demux) {
+        return;
+    }
+    let mut stack: Vec<&str> = node.lowers.iter().map(String::as_str).collect();
+    let mut visited: HashSet<&str> = HashSet::new();
+    let mut inconclusive = stack.is_empty();
+    let mut reaches_device = false;
+    while let Some(cur) = stack.pop() {
+        if !visited.insert(cur) {
+            continue;
+        }
+        match contract_of(cur, by_name, externals) {
+            None => inconclusive = true, // unknown lower: XK003 already fired
+            Some(lc) => match lc.produces {
+                Produce::Opaque => inconclusive = true,
+                Produce::Kind(AddrKind::Device) => reaches_device = true,
+                _ => {}
+            },
+        }
+        if let Some(n) = by_name.get(cur) {
+            stack.extend(n.lowers.iter().map(String::as_str));
+        }
+    }
+    if !reaches_device && !inconclusive {
+        diags.push(Diagnostic {
+            rule: rules::SIGNAL_PATH,
+            severity: Severity::Error,
+            line: node.line,
+            instance: name.to_string(),
+            message: format!(
+                "'{}' parks shepherds on a demux-signalled reply semaphore, but no \
+                 device is reachable below it: no frame can ever arrive to run the \
+                 signaler, so every wait expires",
+                node.ctor
+            ),
+            hint: "wire the stack down to a device protocol (nic), or stop blocking \
+                   on demux-signalled semaphores"
+                .into(),
+        });
+    }
+}
+
+/// XK015: merges every contract's declared lock-acquisition order into one
+/// relation and rejects cycles. Two protocols in one kernel that take the
+/// same locks in opposite orders deadlock under the right interleaving —
+/// exactly the Sched-before-Hosts discipline `sim.rs` documents, enforced
+/// declaratively.
+fn check_lock_order(nodes: &[(String, Node)], diags: &mut Vec<Diagnostic>) {
+    // edge (a -> b): a is acquired before b, attributed to the declaring
+    // node (last declaration wins; any one is enough for the message).
+    let mut edges: HashMap<&str, BTreeSet<&str>> = HashMap::new();
+    let mut declared_by: HashMap<(&str, &str), (usize, &str)> = HashMap::new();
+    for (name, node) in nodes {
+        for w in node.contract.lock_order.windows(2) {
+            let (a, b) = (w[0].as_str(), w[1].as_str());
+            edges.entry(a).or_default().insert(b);
+            declared_by.insert((a, b), (node.line, name.as_str()));
+        }
+    }
+    // Iterative coloring DFS over sorted roots for deterministic output.
+    let mut locks: Vec<&str> = edges.keys().copied().collect();
+    locks.sort_unstable();
+    let mut done: HashSet<&str> = HashSet::new();
+    for root in locks {
+        if done.contains(root) {
+            continue;
+        }
+        let mut path: Vec<&str> = Vec::new();
+        let mut on_path: HashSet<&str> = HashSet::new();
+        // (lock, next-successor-index) frames.
+        let mut frames: Vec<(&str, usize)> = vec![(root, 0)];
+        while let Some((lock, idx)) = frames.pop() {
+            if idx == 0 {
+                path.push(lock);
+                on_path.insert(lock);
+            }
+            let succs: Vec<&str> = edges
+                .get(lock)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default();
+            if let Some(&next) = succs.get(idx) {
+                frames.push((lock, idx + 1));
+                if on_path.contains(next) {
+                    // Cycle: slice of `path` from `next` onward, closed.
+                    let start = path.iter().position(|l| *l == next).unwrap();
+                    let mut cycle: Vec<&str> = path[start..].to_vec();
+                    cycle.push(next);
+                    // Anchor the diagnostic at the latest-declared edge.
+                    let (line, inst) = cycle
+                        .windows(2)
+                        .filter_map(|w| declared_by.get(&(w[0], w[1])))
+                        .max()
+                        .copied()
+                        .unwrap_or((0, ""));
+                    let order = cycle.join(" -> ");
+                    let holders: BTreeSet<&str> = cycle
+                        .windows(2)
+                        .filter_map(|w| declared_by.get(&(w[0], w[1])))
+                        .map(|(_, n)| *n)
+                        .collect();
+                    diags.push(Diagnostic {
+                        rule: rules::LOCK_ORDER,
+                        severity: Severity::Error,
+                        line,
+                        instance: inst.to_string(),
+                        message: format!(
+                            "conflicting lock-acquisition orders: {order} (declared \
+                             across {holders:?}) — two shepherds taking these locks \
+                             concurrently deadlock"
+                        ),
+                        hint: "pick one global order for the named locks and declare \
+                               it identically in every contract"
+                            .into(),
+                    });
+                    return; // one cycle report per spec is enough
+                }
+                if !done.contains(next) {
+                    frames.push((next, 0));
+                }
+            } else {
+                path.pop();
+                on_path.remove(lock);
+                done.insert(lock);
+            }
         }
     }
 }
@@ -866,7 +1241,8 @@ mod tests {
         for c in [
             ProtoContract::new("wire", AddrKind::Hardware)
                 .lower(&[AddrKind::Device])
-                .header(14),
+                .header(14)
+                .blocks(&[BlockPoint::Wire]),
             ProtoContract::new("net", AddrKind::Internet)
                 .lower(&[AddrKind::Hardware])
                 .header(20)
@@ -882,7 +1258,9 @@ mod tests {
                     acquires_pool: false,
                     awaits_reply: true,
                     wakes_from_demux: true,
-                }),
+                })
+                .blocks(&[BlockPoint::Sema, BlockPoint::Timer])
+                .clears_slot_on_error(),
             ProtoContract::new("rpc", AddrKind::Rpc)
                 .lower(&[AddrKind::Internet, AddrKind::Transport])
                 .header(18)
@@ -891,7 +1269,11 @@ mod tests {
                     acquires_pool: true,
                     awaits_reply: true,
                     wakes_from_demux: true,
-                }),
+                })
+                .blocks(&[BlockPoint::Sema, BlockPoint::Timer])
+                .clears_slot_on_error()
+                .crashable()
+                .reboots(),
             ProtoContract::passthrough("pass").header(4),
             ProtoContract::new("stuck", AddrKind::Rpc)
                 .lower(&[])
@@ -899,7 +1281,23 @@ mod tests {
                     acquires_pool: false,
                     awaits_reply: true,
                     wakes_from_demux: false,
-                }),
+                })
+                .blocks(&[BlockPoint::Sema, BlockPoint::Timer])
+                .clears_slot_on_error(),
+            // An Internet producer with no lowers: nothing below it can
+            // reach a device (XK012's bad case).
+            ProtoContract::new("float", AddrKind::Internet),
+            // Crashable but no reboot hook (XK016's bad case).
+            ProtoContract::new("fragile", AddrKind::Rpc)
+                .lower(&[AddrKind::Internet])
+                .crashable(),
+            // A pair declaring opposite lock orders (XK015's bad case).
+            ProtoContract::new("locka", AddrKind::Rpc)
+                .lower(&[AddrKind::Internet])
+                .locks(&["L1", "L2"]),
+            ProtoContract::new("lockb", AddrKind::Rpc)
+                .lower(&[AddrKind::Internet])
+                .locks(&["L2", "L1"]),
         ] {
             m.insert(c.name.clone(), c);
         }
@@ -1049,6 +1447,149 @@ mod tests {
         opts.allow.insert(rules::ADDR_KIND.to_string());
         let d = lint_spec("pass -> nic0\nnet -> pass\n", &ctors(&v), &v, &ext(), &opts);
         assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn xk011_reply_wait_without_slot_release_declaration() {
+        let mut v = vocab();
+        // Same shape as stream, minus the audited clears_slot_on_error.
+        let mut leaky = v["stream"].clone();
+        leaky.name = "leaky".into();
+        leaky.clears_slot_on_error = false;
+        v.insert("leaky".into(), leaky);
+        let d = lint_spec(
+            "wire -> nic0\nnet -> wire\nleaky -> net\n",
+            &ctors(&v),
+            &v,
+            &ext(),
+            &LintOptions::default(),
+        );
+        let hit = d
+            .iter()
+            .find(|d| d.rule == rules::WAIT_HOLDING_SLOT)
+            .expect("XK011 fires");
+        assert_eq!(hit.severity, Severity::Error);
+        assert_eq!(hit.instance, "leaky");
+        assert!(hit.message.contains("transaction slot"), "{}", hit.message);
+        // The audited vocabulary is clean.
+        let d = run("wire -> nic0\nnet -> wire\nstream -> net\n");
+        assert!(!d.iter().any(|d| d.rule == rules::WAIT_HOLDING_SLOT));
+    }
+
+    #[test]
+    fn xk012_demux_signaled_wait_needs_a_device_below() {
+        // stream's reply semaphore is V'd from demux, but float bottoms out
+        // without ever reaching a device: the signaler can never run.
+        let d = run("float\nstream -> float\n");
+        let hit = d
+            .iter()
+            .find(|d| d.rule == rules::SIGNAL_PATH)
+            .expect("XK012 fires");
+        assert_eq!(hit.severity, Severity::Error);
+        assert_eq!(hit.instance, "stream");
+        // With a real wire underneath, the same layer is clean.
+        let d = run("wire -> nic0\nnet -> wire\nstream -> net\n");
+        assert!(!d.iter().any(|d| d.rule == rules::SIGNAL_PATH), "{d:?}");
+    }
+
+    #[test]
+    fn xk013_missing_blocking_declarations() {
+        let mut v = vocab();
+        let mut undeclared = v["rpc"].clone();
+        undeclared.name = "undeclared".into();
+        undeclared.blocking.clear();
+        v.insert("undeclared".into(), undeclared);
+        let d = lint_spec(
+            "wire -> nic0\nnet -> wire\nundeclared -> net\n",
+            &ctors(&v),
+            &v,
+            &ext(),
+            &LintOptions::default(),
+        );
+        let hit = d
+            .iter()
+            .find(|d| d.rule == rules::BLOCK_DECL)
+            .expect("XK013 fires");
+        assert_eq!(hit.severity, Severity::Error);
+        assert_eq!(hit.instance, "undeclared");
+        assert!(hit.message.contains("Sema"), "{}", hit.message);
+        assert!(hit.message.contains("Timer"), "{}", hit.message);
+    }
+
+    #[test]
+    fn xk014_excess_wire_declaration_warns() {
+        let mut v = vocab();
+        let mut wired = v["net"].clone();
+        wired.name = "wired".into();
+        wired.blocking = vec![BlockPoint::Wire];
+        v.insert("wired".into(), wired);
+        let d = lint_spec(
+            "wire -> nic0\nwired -> wire\n",
+            &ctors(&v),
+            &v,
+            &ext(),
+            &LintOptions::default(),
+        );
+        let hit = d
+            .iter()
+            .find(|d| d.rule == rules::BLOCK_DECL_EXCESS)
+            .expect("XK014 fires");
+        assert_eq!(hit.severity, Severity::Warning);
+        assert_eq!(hit.instance, "wired");
+    }
+
+    #[test]
+    fn xk015_conflicting_lock_orders_are_a_cycle() {
+        let d = run("wire -> nic0\nnet -> wire\nlocka -> net\nlockb -> net\n");
+        let hit = d
+            .iter()
+            .find(|d| d.rule == rules::LOCK_ORDER)
+            .expect("XK015 fires");
+        assert_eq!(hit.severity, Severity::Error);
+        assert!(
+            hit.message.contains("L1") && hit.message.contains("L2"),
+            "{}",
+            hit.message
+        );
+        assert!(
+            hit.message.contains("locka") && hit.message.contains("lockb"),
+            "cycle names both declaring instances: {}",
+            hit.message
+        );
+        // One consistent order across the spec is clean.
+        let d = run("wire -> nic0\nnet -> wire\nlocka -> net\nla2: locka -> net\n");
+        assert!(!d.iter().any(|d| d.rule == rules::LOCK_ORDER), "{d:?}");
+    }
+
+    #[test]
+    fn xk016_crashable_without_reboot_hook() {
+        let d = run("wire -> nic0\nnet -> wire\nfragile -> net\n");
+        let hit = d
+            .iter()
+            .find(|d| d.rule == rules::REBOOT_HOOKS)
+            .expect("XK016 fires");
+        assert_eq!(hit.severity, Severity::Error);
+        assert_eq!(hit.instance, "fragile");
+        // rpc declares both crashable and reboots: clean.
+        let d = run("wire -> nic0\nnet -> wire\nrpc -> net\n");
+        assert!(!d.iter().any(|d| d.rule == rules::REBOOT_HOOKS), "{d:?}");
+    }
+
+    #[test]
+    fn block_points_map_onto_trace_op_classes() {
+        // The declaration vocabulary and the runtime ledger must stay in
+        // sync: every BlockPoint names a class OpClass::ALL records.
+        let classes: Vec<String> = crate::trace::OpClass::ALL
+            .iter()
+            .map(|c| format!("{c:?}"))
+            .collect();
+        for bp in [BlockPoint::Sema, BlockPoint::Timer, BlockPoint::Wire] {
+            assert!(
+                classes.iter().any(|c| c == bp.op_class_name()),
+                "{bp} maps to unknown op-class {}",
+                bp.op_class_name()
+            );
+        }
     }
 
     #[test]

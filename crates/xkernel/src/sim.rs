@@ -23,12 +23,14 @@
 
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex, RwLock};
 
 pub use crate::cost::Nanos;
 
+use crate::check::{CheckCore, CheckReport, Violation};
 use crate::cost::CostModel;
 use crate::error::XResult;
 use crate::kernel::Kernel;
@@ -91,6 +93,10 @@ pub struct SimConfig {
     /// Header-buffer policy for messages created via [`Ctx::msg`] — the
     /// paper's buffer-management design point (see [`crate::msg`]).
     pub policy: HeaderPolicy,
+    /// Whether to run the concurrency checker (vector-clock happens-before
+    /// tracking plus violation detection; see [`crate::check`]). Costs
+    /// nothing when off, exactly like `trace`.
+    pub check: bool,
 }
 
 impl SimConfig {
@@ -102,6 +108,7 @@ impl SimConfig {
             seed: 0x5eed,
             trace: false,
             policy: HeaderPolicy::default(),
+            check: false,
         }
     }
 
@@ -113,6 +120,7 @@ impl SimConfig {
             seed: 0x5eed,
             trace: false,
             policy: HeaderPolicy::default(),
+            check: false,
         }
     }
 
@@ -139,6 +147,12 @@ impl SimConfig {
         self.policy = policy;
         self
     }
+
+    /// Enables the concurrency checker.
+    pub fn with_check(mut self) -> SimConfig {
+        self.check = true;
+        self
+    }
 }
 
 /// Outcome of [`Sim::run_until_idle`]. Derives `Eq` so chaos tests can
@@ -157,6 +171,10 @@ pub struct RunReport {
     /// Per-layer cost attribution (empty unless tracing was enabled; see
     /// [`crate::trace`]).
     pub breakdown: CostBreakdown,
+    /// FNV-1a fold of every live event the scheduler processed, in order:
+    /// the run's schedule fingerprint. Two runs with equal hashes executed
+    /// the same interleaving; xcheck repro strings embed it.
+    pub sched_hash: u64,
 }
 
 /// Per-host robustness counters accumulated during a run. Protocols report
@@ -198,6 +216,28 @@ pub enum RobustEvent {
 
 /// A boxed shepherd-process body.
 pub type Thunk = Box<dyn FnOnce(&Ctx) + Send + 'static>;
+
+/// A scheduling-decision oracle for xcheck's bounded schedule exploration.
+///
+/// The simulator is deterministic: heap ties (events at the same virtual
+/// time) break by insertion order. Installing a chooser via
+/// [`Sim::set_chooser`] turns every such tie into a *forced-choice point*:
+/// the chooser is handed the number of tied live events (in insertion
+/// order) and picks which runs first. Enumerating chooser decisions
+/// enumerates schedules; see `crates/xcheck`.
+pub trait ScheduleChooser: Send {
+    /// Picks which of `n` (≥ 2) same-time events to process next; returns
+    /// an index in `0..n` (out-of-range values are clamped).
+    fn choose(&mut self, n: usize) -> usize;
+}
+
+/// FNV-1a offset basis / prime, folding one u64 at a time.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_fold(h: u64, x: u64) -> u64 {
+    (h ^ x).wrapping_mul(FNV_PRIME)
+}
 
 enum EvKind {
     Run { host: HostId, f: Thunk },
@@ -248,6 +288,13 @@ struct Sched {
     idle_workers: Vec<Arc<WorkerSlot>>,
     executed: u64,
     panics: Vec<String>,
+    /// Schedule-exploration oracle; `None` (the default) keeps the plain
+    /// deterministic insertion-order tie-break.
+    chooser: Option<Box<dyn ScheduleChooser>>,
+    /// Running FNV-1a fold over every live event processed (time, seq,
+    /// kind tag). Maintained unconditionally — three integer ops per
+    /// event — so every run has a schedule fingerprint.
+    sched_hash: u64,
 }
 
 /// Per-host clocks and counters, split out of [`Sched`] so the hot charging
@@ -277,6 +324,13 @@ pub struct SimCore {
     /// Structured trace state; a leaf lock (never held while taking any
     /// other simulator lock).
     trace: Mutex<TraceCore>,
+    /// Plain flag checked before any checker work; when false the check
+    /// mutex is never touched (same guarantee as `trace_on`).
+    check_on: bool,
+    /// Concurrency-checker state; a leaf lock like `trace`.
+    check: Mutex<CheckCore>,
+    /// The configured seed, kept for repro strings.
+    seed: u64,
 }
 
 /// The simulator: owns hosts, time, and shepherd processes.
@@ -304,6 +358,8 @@ impl Sim {
                     idle_workers: Vec::new(),
                     executed: 0,
                     panics: Vec::new(),
+                    chooser: None,
+                    sched_hash: FNV_OFFSET,
                 }),
                 sched_cv: Condvar::new(),
                 hosts: Mutex::new(Hosts {
@@ -316,6 +372,9 @@ impl Sim {
                 rng: Mutex::new(cfg.seed | 1),
                 trace_on: cfg.trace,
                 trace: Mutex::new(TraceCore::new(DEFAULT_RING_CAP)),
+                check_on: cfg.check,
+                check: Mutex::new(CheckCore::default()),
+                seed: cfg.seed,
             }),
         }
     }
@@ -481,6 +540,7 @@ impl Sim {
             blocked,
             hosts,
             breakdown: breakdown_of(core),
+            sched_hash: g.sched_hash,
         };
         let panic = g.panics.first().cloned();
         drop(g);
@@ -557,6 +617,55 @@ impl Sim {
             return;
         }
         self.core.trace.lock().clear();
+    }
+
+    /// Whether the concurrency checker is enabled for this simulation.
+    pub fn check_enabled(&self) -> bool {
+        self.core.check_on
+    }
+
+    /// The configured PRNG seed (embedded in repro strings).
+    pub fn seed(&self) -> u64 {
+        self.core.seed
+    }
+
+    /// The schedule fingerprint accumulated so far (see
+    /// [`RunReport::sched_hash`]).
+    pub fn sched_hash(&self) -> u64 {
+        self.core.sched.lock().sched_hash
+    }
+
+    /// Installs a scheduling oracle: every same-time event tie becomes a
+    /// forced-choice point decided by `chooser`. Used by xcheck's bounded
+    /// schedule exploration; replaces any previous chooser.
+    pub fn set_chooser(&self, chooser: Box<dyn ScheduleChooser>) {
+        self.core.sched.lock().chooser = Some(chooser);
+    }
+
+    /// The checker's findings. Runs the wait-for-graph scan over processes
+    /// still blocked right now, so call it after [`Sim::run_until_idle`]
+    /// (a blocked process mid-run is not yet a deadlock). Returns a
+    /// default (disabled) report when checking is off.
+    pub fn check_report(&self) -> CheckReport {
+        if !self.core.check_on {
+            return CheckReport::default();
+        }
+        let mut blocked: Vec<u64> = {
+            let g = self.core.sched.lock();
+            g.lps
+                .iter()
+                .filter(|(_, s)| s.state == RunState::Blocked)
+                .map(|(&id, _)| id)
+                .collect()
+        };
+        blocked.sort_unstable();
+        self.core.check.lock().report(&blocked)
+    }
+
+    /// The replayable repro string for `v` under this run's seed and
+    /// schedule fingerprint (see [`crate::check::parse_repro`]).
+    pub fn repro(&self, v: &Violation) -> String {
+        v.repro(self.core.seed, self.sched_hash())
     }
 }
 
@@ -658,10 +767,41 @@ fn advance(core: &Arc<SimCore>, g: &mut parking_lot::MutexGuard<'_, Sched>) -> N
             match g.heap.pop() {
                 None => break None,
                 Some(std::cmp::Reverse((t, seq))) => {
-                    if g.events.contains_key(&seq) {
+                    if !g.events.contains_key(&seq) {
+                        continue; // Cancelled; skip.
+                    }
+                    if g.chooser.is_none() {
                         break Some((t, seq));
                     }
-                    // Cancelled; skip.
+                    // A chooser is installed: same-time ties are forced-
+                    // choice points. Collect every live event tied at `t`
+                    // (they surface seq-ascending), let the chooser pick,
+                    // and restore the rest.
+                    let mut ties = vec![(t, seq)];
+                    while let Some(&std::cmp::Reverse((t2, s2))) = g.heap.peek() {
+                        if t2 != t {
+                            break;
+                        }
+                        g.heap.pop();
+                        if g.events.contains_key(&s2) {
+                            ties.push((t2, s2));
+                        }
+                    }
+                    let pick = if ties.len() > 1 {
+                        let n = ties.len();
+                        g.chooser
+                            .as_mut()
+                            .expect("chooser checked present")
+                            .choose(n)
+                            .min(n - 1)
+                    } else {
+                        0
+                    };
+                    let chosen = ties.remove(pick);
+                    for &e in &ties {
+                        g.heap.push(std::cmp::Reverse(e));
+                    }
+                    break Some(chosen);
                 }
             }
         };
@@ -672,6 +812,18 @@ fn advance(core: &Arc<SimCore>, g: &mut parking_lot::MutexGuard<'_, Sched>) -> N
         g.now = t;
         g.executed += 1;
         let kind = g.events.remove(&seq).expect("event checked present");
+        g.sched_hash = fnv_fold(
+            fnv_fold(fnv_fold(g.sched_hash, t), seq),
+            match &kind {
+                EvKind::Run { .. } => 1,
+                EvKind::Wake { .. } => 2,
+                EvKind::Crash { .. } => 3,
+                EvKind::Restart { .. } => 4,
+            },
+        );
+        if core.check_on {
+            core.check.lock().tick_event(g.executed, t);
+        }
         match kind {
             EvKind::Run { host, f } => {
                 let jumped = {
@@ -696,7 +848,13 @@ fn advance(core: &Arc<SimCore>, g: &mut parking_lot::MutexGuard<'_, Sched>) -> N
                         jumped.1,
                     );
                 }
-                return Next::Task(new_lp(g, host, f));
+                let task = new_lp(g, host, f);
+                if core.check_on {
+                    // The new process inherits its spawner's clock via the
+                    // deposit keyed by this event's seq (if one was made).
+                    core.check.lock().on_lp_start(task.lp.0, host.0, seq);
+                }
+                return Next::Task(task);
             }
             EvKind::Crash { host } => {
                 {
@@ -733,6 +891,20 @@ fn advance(core: &Arc<SimCore>, g: &mut parking_lot::MutexGuard<'_, Sched>) -> N
                         st.cv.notify_one();
                     }
                 }
+                if core.check_on {
+                    // Every process of the crashed host had its pending
+                    // wakes purged; late signals to them are expected, not
+                    // lost wakeups.
+                    let doomed: Vec<u64> = lps
+                        .iter()
+                        .filter(|(_, s)| s.host == host)
+                        .map(|(&id, _)| id)
+                        .collect();
+                    let mut chk = core.check.lock();
+                    for lp in doomed {
+                        chk.on_lp_killed(lp);
+                    }
+                }
             }
             EvKind::Restart { host } => {
                 let jumped = {
@@ -765,14 +937,26 @@ fn advance(core: &Arc<SimCore>, g: &mut parking_lot::MutexGuard<'_, Sched>) -> N
                         panic!("reboot failed on host {}: {e}", ctx.host().0);
                     }
                 });
-                return Next::Task(new_lp(g, host, f));
+                let task = new_lp(g, host, f);
+                if core.check_on {
+                    core.check.lock().on_lp_start(task.lp.0, host.0, seq);
+                }
+                return Next::Task(task);
             }
             EvKind::Wake { lp, reason } => {
                 let Some(st) = g.lps.get_mut(&lp.0) else {
-                    continue; // Process already gone; stale wake.
+                    // Process already gone; stale wake.
+                    if core.check_on {
+                        core.check.lock().on_stale_wake(lp.0);
+                    }
+                    continue;
                 };
                 if st.state != RunState::Blocked {
-                    continue; // Stale wake; cancellation should prevent this.
+                    // Stale wake; cancellation should prevent this.
+                    if core.check_on {
+                        core.check.lock().on_stale_wake(lp.0);
+                    }
+                    continue;
                 }
                 let host = st.host;
                 st.state = RunState::Running;
@@ -1146,6 +1330,13 @@ impl Ctx {
         g.seq += 1;
         g.events.insert(seq, EvKind::Run { host, f });
         g.heap.push(std::cmp::Reverse((t, seq)));
+        if self.core.check_on {
+            if let Some(lp) = self.lp {
+                // Fork edge: deposit the spawner's clock under the new Run
+                // event's seq; the spawned process joins it at start.
+                self.core.check.lock().on_spawn(lp.0, seq);
+            }
+        }
         TimerHandle(seq)
     }
 
@@ -1384,17 +1575,33 @@ struct SemaState {
 /// timeout outcome is the truthful one).
 pub struct Sema {
     st: Mutex<SemaState>,
+    /// Globally unique identity for the checker's holding/wait-for maps.
+    id: u64,
+    /// Human-readable label for violation reports.
+    label: &'static str,
 }
+
+/// Source of [`Sema::id`] values; process-wide so distinct simulations
+/// never alias.
+static NEXT_SEMA_ID: AtomicU64 = AtomicU64::new(0);
 
 impl Sema {
     /// A semaphore with the given initial count.
     pub fn new(initial: i64) -> Sema {
+        Sema::labeled(initial, "sema")
+    }
+
+    /// A semaphore with the given initial count and a label that xcheck
+    /// violation reports (deadlock cycles, double waits) will carry.
+    pub fn labeled(initial: i64, label: &'static str) -> Sema {
         Sema {
             st: Mutex::new(SemaState {
                 count: initial,
                 waiters: VecDeque::new(),
                 next_seq: 0,
             }),
+            id: NEXT_SEMA_ID.fetch_add(1, Ordering::Relaxed),
+            label,
         }
     }
 
@@ -1406,16 +1613,27 @@ impl Sema {
     /// P: acquire one unit, blocking until available.
     pub fn p(&self, ctx: &Ctx) {
         ctx.charge_class(OpClass::Sema, ctx.cost().sema_op);
+        let waiter_lp;
         {
             let mut st = self.st.lock();
             if st.count > 0 {
                 st.count -= 1;
+                if ctx.core.check_on {
+                    if let Some(lp) = ctx.lp {
+                        drop(st);
+                        ctx.core
+                            .check
+                            .lock()
+                            .on_acquire(lp.0, self.id, self.label, ctx.host.0);
+                    }
+                }
                 return;
             }
             if ctx.mode() == Mode::Inline {
                 panic!("Sema::p would block in inline mode");
             }
             let lp = ctx.lp().expect("P outside a shepherd process");
+            waiter_lp = lp;
             let seq = st.next_seq;
             st.next_seq += 1;
             st.waiters.push_back(Waiter {
@@ -1423,9 +1641,22 @@ impl Sema {
                 timer: None,
                 seq,
             });
+            if ctx.core.check_on {
+                drop(st);
+                ctx.core
+                    .check
+                    .lock()
+                    .on_wait_begin(lp.0, self.id, self.label, ctx.host.0);
+            }
         }
         let reason = ctx.block_current();
         debug_assert_eq!(reason, WakeReason::Normal, "untimed P woke by timeout");
+        if ctx.core.check_on {
+            ctx.core
+                .check
+                .lock()
+                .on_wait_end(waiter_lp.0, self.id, true);
+        }
     }
 
     /// V: release one unit, waking the longest-waiting process if any.
@@ -1441,6 +1672,15 @@ impl Sema {
                 }
             }
         };
+        if ctx.core.check_on {
+            ctx.core.check.lock().on_release(
+                ctx.lp.map(|l| l.0),
+                self.id,
+                self.label,
+                ctx.host.0,
+                woken.as_ref().map(|w| w.lp.0),
+            );
+        }
         if let Some(w) = woken {
             if let Some(t) = w.timer {
                 ctx.cancel_timer(t);
@@ -1460,6 +1700,11 @@ impl SharedSema {
     /// A shareable semaphore with the given initial count.
     pub fn new(initial: i64) -> SharedSema {
         SharedSema(Arc::new(Sema::new(initial)))
+    }
+
+    /// A shareable labeled semaphore (see [`Sema::labeled`]).
+    pub fn labeled(initial: i64, label: &'static str) -> SharedSema {
+        SharedSema(Arc::new(Sema::labeled(initial, label)))
     }
 
     /// Current count.
@@ -1486,6 +1731,15 @@ impl SharedSema {
             let mut st = sema.st.lock();
             if st.count > 0 {
                 st.count -= 1;
+                if ctx.core.check_on {
+                    if let Some(lp) = ctx.lp {
+                        drop(st);
+                        ctx.core
+                            .check
+                            .lock()
+                            .on_acquire(lp.0, sema.id, sema.label, ctx.host.0);
+                    }
+                }
                 return true;
             }
             if ctx.mode() == Mode::Inline {
@@ -1499,6 +1753,13 @@ impl SharedSema {
                 timer: None,
                 seq: my_seq,
             });
+            if ctx.core.check_on {
+                drop(st);
+                ctx.core
+                    .check
+                    .lock()
+                    .on_wait_begin(lp.0, sema.id, sema.label, ctx.host.0);
+            }
         }
         let me = Arc::clone(sema);
         let lp = ctx.lp().expect("checked above");
@@ -1516,6 +1777,10 @@ impl SharedSema {
                 w.timer = Some(timer);
             }
         }
-        matches!(ctx.block_current(), WakeReason::Normal)
+        let acquired = matches!(ctx.block_current(), WakeReason::Normal);
+        if ctx.core.check_on {
+            ctx.core.check.lock().on_wait_end(lp.0, sema.id, acquired);
+        }
+        acquired
     }
 }

@@ -12,6 +12,9 @@
 //!                         device); repeatable. KIND is one of device,
 //!                         hardware, internet, transport, rpc, resolver.
 //!   --allow RULES         comma-separated rule ids to suppress (XK008,...)
+//!   --xcheck              report only the concurrency-verifier rules
+//!                         (XK010-XK016: semaphore discipline, blocking
+//!                         points, lock order, reboot hooks)
 //!   --warn-as-error       non-zero exit on warnings too
 //!   --quiet               print errors only
 //!   -                     read a spec from stdin
@@ -31,6 +34,7 @@ struct Options {
     builtin: bool,
     warn_as_error: bool,
     quiet: bool,
+    xcheck_only: bool,
     lint: LintOptions,
     externals: HashMap<String, ProtoContract>,
     inputs: Vec<String>,
@@ -38,7 +42,7 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: xk-lint [--builtin] [--extern NAME[:KIND]]... [--allow RULES]\n\
-     \x20              [--warn-as-error] [--quiet] [SPEC_FILE | -]..."
+     \x20              [--xcheck] [--warn-as-error] [--quiet] [SPEC_FILE | -]..."
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -46,6 +50,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         builtin: false,
         warn_as_error: false,
         quiet: false,
+        xcheck_only: false,
         lint: LintOptions::default(),
         externals: default_externals(),
         inputs: Vec::new(),
@@ -54,6 +59,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--builtin" => opts.builtin = true,
+            "--xcheck" => opts.xcheck_only = true,
             "--warn-as-error" => opts.warn_as_error = true,
             "--quiet" | "-q" => opts.quiet = true,
             "--help" | "-h" => return Err(String::new()),
@@ -106,7 +112,10 @@ fn run(opts: &Options) -> Result<(usize, usize, usize), String> {
     let (mut specs, mut warnings, mut errors) = (0, 0, 0);
     let mut lint_one = |label: &str, spec: &str| {
         specs += 1;
-        let diags = reg.lint(spec, &opts.externals, &opts.lint);
+        let mut diags = reg.lint(spec, &opts.externals, &opts.lint);
+        if opts.xcheck_only {
+            diags.retain(|d| xkernel::lint::rules::XCHECK.contains(&d.rule));
+        }
         let (w, e) = report(label, &diags, opts.quiet);
         warnings += w;
         errors += e;

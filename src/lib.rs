@@ -13,14 +13,15 @@ use xkernel::lint::{AddrKind, ProtoContract};
 /// A registry holding every protocol constructor and lint contract in the
 /// workspace: inet (eth/arp/ip/udp/icmp/tcp), the Sprite RPC decomposition
 /// (sprite/fragment/channel/select/rdgram/vip/vipaddr/vipsize/pinger), the
-/// Sun RPC decomposition (request_reply/auth_*/sunselect), psync, and the
-/// shim layers (null/handicap).
+/// Sun RPC decomposition (request_reply/auth_*/sunselect), psync, the shim
+/// layers (null/handicap), and xcheck's deadlock-toy pair (dl_ab/dl_ba).
 pub fn full_registry() -> ProtocolRegistry {
     let mut reg = inet::testbed::base_registry();
     xrpc::register_ctors(&mut reg);
     sunrpc::register_ctors(&mut reg);
     psync::register_ctors(&mut reg);
     xkernel::shim::register_ctors(&mut reg);
+    xcheck::toys::register_ctors(&mut reg);
     reg
 }
 

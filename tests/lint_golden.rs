@@ -4,7 +4,7 @@
 
 use xkernel::graph::GraphArgs;
 use xkernel::lint::{
-    rules, AddrKind, Diagnostic, LintOptions, ProtoContract, SemaContract, Severity,
+    rules, AddrKind, BlockPoint, Diagnostic, LintOptions, ProtoContract, SemaContract, Severity,
 };
 use xkernel::prelude::*;
 use xkernel_repro::{default_externals, full_registry};
@@ -184,6 +184,149 @@ fn xk010_nested_reply_waiters_warn() {
     assert!(hit.message.contains("nested"), "{}", hit.message);
 }
 
+/// A registry with one synthetic contract (and a lint-only constructor so
+/// XK002 stays quiet) grafted onto the real vocabulary.
+fn with_contract(c: ProtoContract) -> xkernel::graph::ProtocolRegistry {
+    let mut reg = full_registry();
+    let name = c.name.clone();
+    reg.add_contract(c);
+    reg.add(&name, |_a: &GraphArgs<'_>| {
+        Err(XError::Config("lint-only constructor".into()))
+    });
+    reg
+}
+
+fn lint_with(c: ProtoContract, spec: &str) -> Vec<Diagnostic> {
+    with_contract(c).lint(spec, &default_externals(), &LintOptions::default())
+}
+
+#[test]
+fn xk011_reply_wait_without_slot_release_guarantee() {
+    // Blocks on a reply semaphore but never audited its error paths: the
+    // slot-leak class the channel layer was fixed for by hand.
+    let d = lint_with(
+        ProtoContract::new("leaky", AddrKind::Rpc)
+            .lower(&[AddrKind::Internet])
+            .sema(SemaContract {
+                acquires_pool: false,
+                awaits_reply: true,
+                wakes_from_demux: true,
+            })
+            .blocks(&[BlockPoint::Sema, BlockPoint::Timer]),
+        &format!("{BASE}leaky -> ip\n"),
+    );
+    assert!(
+        has(&d, rules::WAIT_HOLDING_SLOT, Severity::Error, "leaky"),
+        "{d:?}"
+    );
+    let hit = d
+        .iter()
+        .find(|d| d.rule == rules::WAIT_HOLDING_SLOT)
+        .unwrap();
+    assert!(hit.message.contains("leaks the channel"), "{}", hit.message);
+}
+
+#[test]
+fn xk012_demux_signalled_wait_with_no_device_below() {
+    // floaty's reply semaphore is signalled from demux, but its whole lower
+    // subtree is `isle`, which produces internet addresses out of thin air:
+    // no frame can ever arrive to run the signaler.
+    let mut reg = with_contract(ProtoContract::new("isle", AddrKind::Internet));
+    reg.add_contract(
+        ProtoContract::new("floaty", AddrKind::Rpc)
+            .lower(&[AddrKind::Internet])
+            .sema(SemaContract {
+                acquires_pool: false,
+                awaits_reply: true,
+                wakes_from_demux: true,
+            })
+            .blocks(&[BlockPoint::Sema, BlockPoint::Timer])
+            .clears_slot_on_error(),
+    );
+    reg.add("floaty", |_a: &GraphArgs<'_>| {
+        Err(XError::Config("lint-only constructor".into()))
+    });
+    let d = reg.lint(
+        "isle\nfloaty -> isle\n",
+        &default_externals(),
+        &LintOptions::default(),
+    );
+    assert!(
+        has(&d, rules::SIGNAL_PATH, Severity::Error, "floaty"),
+        "{d:?}"
+    );
+}
+
+#[test]
+fn xk013_undeclared_blocking_points() {
+    // Awaits a reply (implying Sema + Timer blocking points) but declares
+    // no blocks() at all.
+    let d = lint_with(
+        ProtoContract::new("mute", AddrKind::Rpc)
+            .lower(&[AddrKind::Internet])
+            .sema(SemaContract {
+                acquires_pool: false,
+                awaits_reply: true,
+                wakes_from_demux: true,
+            })
+            .clears_slot_on_error(),
+        &format!("{BASE}mute -> ip\n"),
+    );
+    let hit = d
+        .iter()
+        .find(|d| d.rule == rules::BLOCK_DECL && d.severity == Severity::Error)
+        .expect("XK013 fires");
+    assert_eq!(hit.instance, "mute");
+    assert!(hit.message.contains("Sema"), "{}", hit.message);
+    assert!(hit.message.contains("Timer"), "{}", hit.message);
+}
+
+#[test]
+fn xk014_excess_wire_declaration() {
+    // Declares a wire blocking point with no device-kind lower slot.
+    let d = lint_with(
+        ProtoContract::new("nowire", AddrKind::Rpc)
+            .lower(&[AddrKind::Internet])
+            .blocks(&[BlockPoint::Wire]),
+        &format!("{BASE}nowire -> ip\n"),
+    );
+    assert!(
+        has(&d, rules::BLOCK_DECL_EXCESS, Severity::Warning, "nowire"),
+        "{d:?}"
+    );
+}
+
+#[test]
+fn xk015_conflicting_lock_orders_via_the_deadlock_toy() {
+    // The xcheck deadlock toy pair is registered in the full registry:
+    // dl_ab declares sem_a < sem_b, dl_ba the reverse — the merged order
+    // relation is cyclic.
+    let d = lint("ab: dl_ab\nba: dl_ba -> ab\n");
+    let hit = d
+        .iter()
+        .find(|d| d.rule == rules::LOCK_ORDER && d.severity == Severity::Error)
+        .expect("XK015 fires");
+    assert!(
+        hit.message.contains("dl.sem_a") && hit.message.contains("dl.sem_b"),
+        "{}",
+        hit.message
+    );
+}
+
+#[test]
+fn xk016_crashable_without_reboot_hook() {
+    let d = lint_with(
+        ProtoContract::new("fragile", AddrKind::Rpc)
+            .lower(&[AddrKind::Internet])
+            .crashable(),
+        &format!("{BASE}fragile -> ip\n"),
+    );
+    assert!(
+        has(&d, rules::REBOOT_HOOKS, Severity::Error, "fragile"),
+        "{d:?}"
+    );
+}
+
 #[test]
 fn checked_in_specs_match_expectations() {
     let reg = full_registry();
@@ -233,4 +376,11 @@ fn checked_in_specs_match_expectations() {
     ] {
         assert!(d.iter().any(|d| d.rule == rule), "{rule} missing: {d:?}");
     }
+    let dl = std::fs::read_to_string(dir.join("bad/deadlock-toy.xk")).unwrap();
+    let d = reg.lint(&dl, &externals, &LintOptions::default());
+    assert!(
+        d.iter()
+            .any(|d| d.rule == rules::LOCK_ORDER && d.severity == Severity::Error),
+        "deadlock-toy.xk should trip XK015: {d:?}"
+    );
 }
