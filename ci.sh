@@ -115,6 +115,22 @@ cargo test -q -p xkernel --test trace_overhead
 echo "==> check-overhead smoke: disabled checking allocates nothing"
 cargo test -q -p xkernel --test check_overhead
 
+echo "==> snapshot-smoke: mid-soak save/restore bit-identity + journal replay"
+# Saves a warmed chaos scenario at quiescence mid-soak, restores, and
+# re-runs the tail: the ChaosReport (including sched_hash) must be
+# Eq-equal to the uninterrupted run; a journaled run must replay to the
+# identical report after a wire-encoding round trip. The exhaustive
+# matrix runs in the chaos suite above; this is the fast named cut.
+cargo test -q -p xbench --test snapshot_smoke
+
+echo "==> bisect-smoke: minimize a seeded multi-fault failure to one culprit"
+# Records the Blackout profile's injected-fault timeline (the one profile
+# guaranteed to defeat the retry budget; deliberately not in the soak
+# matrix) and binary-searches the suppression cutoff down to the single
+# fault event whose removal makes the invariants pass, with a replayable
+# repro; also re-verifies both cutoffs named in the repro string.
+cargo test -q -p chaos --test snapshot_replay bisect
+
 echo "==> xcheck-smoke: exhaustive toy exploration"
 # Enumerates every interleaving of the concurrency toys under the dynamic
 # checker. The handshake must cover its full schedule space cleanly; the

@@ -37,12 +37,15 @@ use inet::arp::Arp;
 use inet::testbed::{base_registry, lan_hosts, two_hosts, TwoHosts};
 use inet::with_concrete;
 use simnet::fault::{FaultPlan, FaultSchedule};
-use simnet::LanStats;
+use simnet::{FaultEvent, LanStats};
 use sunrpc::sunselect::SunSelect;
 use xkernel::check::CheckReport;
+use xkernel::journal::Journal;
 use xkernel::prelude::*;
 use xkernel::sim::{RunReport, ScheduleChooser, SimConfig};
 use xrpc::stacks::{StackDef, ALL_RPC_STACKS};
+
+pub mod bisect;
 
 /// Virtual-time gap between successive client calls, so a scenario's calls
 /// straddle the fault windows instead of finishing before the first opens.
@@ -51,6 +54,17 @@ pub const CALL_GAP_NS: u64 = 12_000_000;
 /// Receive timeout for Psync conversations (they have no retransmission;
 /// a lossless profile must deliver within this bound).
 pub const PSYNC_RECV_TIMEOUT_NS: u64 = 3_000_000_000;
+
+/// Classic Sun RPC: SUN_SELECT / AUTH_UNIX / REQUEST_REPLY / UDP.
+pub const SUNRPC_UDP_GRAPH: &str = "request_reply -> udp\n\
+     auth: auth_unix uid=1000 machine=sun3 allow=1000 -> request_reply\n\
+     sunselect -> auth\n";
+
+/// The §5 mix: SUN_SELECT over CHANNEL–FRAGMENT–VIP.
+pub const SUNRPC_CHANNEL_GRAPH: &str = "vip -> ip eth arp\n\
+     fragment -> vip\n\
+     channel -> fragment\n\
+     sunselect -> channel\n";
 
 const SUN_PROG: u32 = 100_099;
 const SUN_VERS: u32 = 1;
@@ -145,6 +159,12 @@ pub enum Profile {
     /// Loss + duplication + jitter + a burst window + (on checksummed
     /// stacks) corruption, all at once.
     Chaotic,
+    /// Light loss plus a long bidirectional outage — cut for longer than
+    /// any retransmission budget can ride out, so bounded completion
+    /// *must* fail. Deliberately not in [`Profile::ALL`]: it exists as
+    /// the guaranteed fault-induced failure the bisection driver
+    /// ([`crate::bisect`]) minimizes, not as a soak profile.
+    Blackout,
 }
 
 impl Profile {
@@ -199,6 +219,17 @@ impl Profile {
                 ..FaultPlan::default()
             })
             .burst_loss(600, 50_000_000, 90_000_000),
+            Profile::Blackout => {
+                // 40 ms – 2 s: longer than REQUEST_REPLY's whole backoff
+                // ladder (7 attempts top out near 550 ms warm), so every
+                // in-window call must exhaust its budget and fail.
+                FaultSchedule::from_plan(FaultPlan::lossy(20 + draw(20) as u32)).partition_both(
+                    client,
+                    server,
+                    40_000_000,
+                    2_000_000_000,
+                )
+            }
         };
         sched.validate().expect("derived schedule is well-formed");
         sched
@@ -333,6 +364,24 @@ struct RunOpts {
     trace: bool,
     check: bool,
     chooser: Option<Box<dyn ScheduleChooser>>,
+    /// Record every nondeterminism-relevant decision into the scheduler
+    /// journal (see [`xkernel::journal`]).
+    journal: bool,
+    /// Record the pre-suppression fault timeline on the scenario's LAN
+    /// (the bisection search space).
+    record_faults: bool,
+    /// Suppress recorded-class faults whose packet index is >= this cutoff
+    /// (see [`simnet::SimNet::suppress_faults_from`]).
+    suppress_from: Option<u64>,
+}
+
+/// What a scenario run produced beyond the report: the simulator (for
+/// checker queries), the recorded fault timeline, and the journal.
+struct RunOutput {
+    report: ChaosReport,
+    sim: Sim,
+    faults: Vec<FaultEvent>,
+    journal: Option<Journal>,
 }
 
 /// A scenario run with the concurrency checker enabled: the ordinary
@@ -352,7 +401,7 @@ pub struct Verified {
 
 /// Mutable counters shared between the client/server closures and the
 /// report assembly.
-#[derive(Default)]
+#[derive(Default, Clone)]
 struct Tally {
     completed: u32,
     mismatched: u32,
@@ -378,7 +427,46 @@ impl Scenario {
     /// Runs the scenario to completion and returns the report. Use
     /// [`Scenario::run_checked`] to also assert the invariants.
     pub fn run(&self) -> ChaosReport {
-        self.run_inner(RunOpts::default()).0
+        self.run_inner(RunOpts::default()).report
+    }
+
+    /// Runs the scenario with the scheduler journal recording every
+    /// nondeterminism-relevant decision (same-time tie picks, realized
+    /// wire faults, crash/restart boots). The journal is stamped with the
+    /// seed and final `sched_hash`; [`Scenario::run_replayed`] replays it.
+    pub fn run_journaled(&self) -> (ChaosReport, Journal) {
+        let out = self.run_inner(RunOpts {
+            journal: true,
+            ..RunOpts::default()
+        });
+        (out.report, out.journal.expect("journaling was on"))
+    }
+
+    /// Replays a journaled run: the journal's tie picks drive every
+    /// forced-choice point, and a fresh journal is recorded for
+    /// cross-checking (`replayed_journal.matches(original.sched_hash)`
+    /// must hold, as must report equality).
+    pub fn run_replayed(&self, journal: &Journal) -> (ChaosReport, Journal) {
+        let out = self.run_inner(RunOpts {
+            journal: true,
+            chooser: Some(Box::new(journal.chooser())),
+            ..RunOpts::default()
+        });
+        (out.report, out.journal.expect("journaling was on"))
+    }
+
+    /// Runs the scenario while recording the pre-suppression fault
+    /// timeline on its LAN, optionally suppressing every recorded-class
+    /// fault at packet index >= `suppress_from` (faults become clean
+    /// deliveries; the PRNG draw sequence is unchanged, so everything
+    /// before the cutoff replays exactly). The bisection probe.
+    pub fn run_recorded(&self, suppress_from: Option<u64>) -> (ChaosReport, Vec<FaultEvent>) {
+        let out = self.run_inner(RunOpts {
+            record_faults: true,
+            suppress_from,
+            ..RunOpts::default()
+        });
+        (out.report, out.faults)
     }
 
     /// Runs the scenario with the xcheck concurrency checker enabled:
@@ -398,11 +486,12 @@ impl Scenario {
     }
 
     fn run_verified_inner(&self, chooser: Option<Box<dyn ScheduleChooser>>) -> Verified {
-        let (report, sim) = self.run_inner(RunOpts {
-            trace: false,
+        let out = self.run_inner(RunOpts {
             check: true,
             chooser,
+            ..RunOpts::default()
         });
+        let (report, sim) = (out.report, out.sim);
         let check = sim.check_report();
         let repros = check.violations.iter().map(|v| sim.repro(v)).collect();
         let invariant_failures = self.invariant_failures(&report);
@@ -425,29 +514,14 @@ impl Scenario {
             trace: true,
             ..RunOpts::default()
         })
-        .0
+        .report
     }
 
-    fn run_inner(&self, opts: RunOpts) -> (ChaosReport, Sim) {
+    fn run_inner(&self, opts: RunOpts) -> RunOutput {
         match self.stack {
             StackKind::Paper(def) => self.run_rpc(RpcFlavor::Paper(def), opts),
-            StackKind::SunRpcUdp => self.run_rpc(
-                RpcFlavor::SunRpc(
-                    "request_reply -> udp\n\
-                 auth: auth_unix uid=1000 machine=sun3 allow=1000 -> request_reply\n\
-                 sunselect -> auth\n",
-                ),
-                opts,
-            ),
-            StackKind::SunRpcChannel => self.run_rpc(
-                RpcFlavor::SunRpc(
-                    "vip -> ip eth arp\n\
-                 fragment -> vip\n\
-                 channel -> fragment\n\
-                 sunselect -> channel\n",
-                ),
-                opts,
-            ),
+            StackKind::SunRpcUdp => self.run_rpc(RpcFlavor::SunRpc(SUNRPC_UDP_GRAPH), opts),
+            StackKind::SunRpcChannel => self.run_rpc(RpcFlavor::SunRpc(SUNRPC_CHANNEL_GRAPH), opts),
             StackKind::Psync => self.run_psync(opts),
         }
     }
@@ -539,12 +613,16 @@ impl Scenario {
         tb.net.set_fault_schedule(tb.lan, sched);
     }
 
-    fn run_rpc(&self, flavor: RpcFlavor, opts: RunOpts) -> (ChaosReport, Sim) {
+    /// Builds the two-host rig for an RPC flavor: registers the serving
+    /// handler, warms ARP on the quiet wire, installs the fault schedule,
+    /// and arms journaling / fault recording / suppression per `opts` —
+    /// everything up to (but not including) spawning client processes.
+    fn rpc_setup(&self, flavor: RpcFlavor, opts: &RunOpts) -> (TwoHosts, Arc<Mutex<Tally>>) {
         let graph = match flavor {
             RpcFlavor::Paper(def) => def.graph,
             RpcFlavor::SunRpc(g) => g,
         };
-        let tb = self.two_host_rig(graph, &opts);
+        let tb = self.two_host_rig(graph, opts);
         let tally = Arc::new(Mutex::new(Tally::default()));
 
         // Server: a side-effecting procedure that verifies the request's
@@ -579,17 +657,33 @@ impl Scenario {
 
         warm_arp(&tb.sim, tb.client.host(), tb.server_ip);
         self.install_schedule(&tb);
-        if let Some(ch) = opts.chooser {
-            tb.sim.set_chooser(ch);
+        if opts.journal {
+            tb.sim.journal_enable();
         }
+        if opts.record_faults {
+            tb.net.record_faults(tb.lan);
+        }
+        if let Some(cutoff) = opts.suppress_from {
+            tb.net.suppress_faults_from(tb.lan, Some(cutoff));
+        }
+        (tb, tally)
+    }
 
-        // Clients: a population of closed-loop processes, each issuing
-        // sequential calls spaced over the fault windows. Client 0 uses the
-        // scenario seed directly, so a population of one is bit-identical
-        // to the original single-client harness; the others derive
-        // disjoint payload streams from it.
+    /// Spawns the closed-loop client population, each process issuing
+    /// sequential calls `lo..hi` spaced over the fault windows. Client 0
+    /// uses the scenario seed directly, so a population of one is
+    /// bit-identical to the original single-client harness; the others
+    /// derive disjoint payload streams from it.
+    fn spawn_rpc_clients(
+        &self,
+        tb: &TwoHosts,
+        tally: &Arc<Mutex<Tally>>,
+        flavor: RpcFlavor,
+        lo: u32,
+        hi: u32,
+    ) {
         let population = self.population.max(1);
-        let (seed, calls) = (self.seed, self.calls);
+        let seed = self.seed;
         let server_ip = tb.server_ip;
         for j in 0..population {
             let client_seed = if j == 0 {
@@ -597,9 +691,9 @@ impl Scenario {
             } else {
                 seed.wrapping_add(u64::from(j).wrapping_mul(0x9e37_79b9_7f4a_7c15))
             };
-            let t3 = Arc::clone(&tally);
+            let t3 = Arc::clone(tally);
             tb.sim.spawn(tb.client.host(), move |ctx| {
-                for i in 0..calls {
+                for i in lo..hi {
                     let req = chaos_payload(client_seed, u64::from(i));
                     let want = expected_reply(&req);
                     let got = match flavor {
@@ -625,12 +719,105 @@ impl Scenario {
                 }
             });
         }
-        let run = tb.sim.run_until_idle();
-        let report = self.report(run, tb.net.stats(tb.lan), &tally, calls * population);
-        (report, tb.sim.clone())
     }
 
-    fn run_psync(&self, opts: RunOpts) -> (ChaosReport, Sim) {
+    fn run_rpc(&self, flavor: RpcFlavor, mut opts: RunOpts) -> RunOutput {
+        let chooser = opts.chooser.take();
+        let (tb, tally) = self.rpc_setup(flavor, &opts);
+        if let Some(ch) = chooser {
+            tb.sim.set_chooser(ch);
+        }
+        self.spawn_rpc_clients(&tb, &tally, flavor, 0, self.calls);
+        let run = tb.sim.run_until_idle();
+        let attempted = self.calls * self.population.max(1);
+        let report = self.report(run, tb.net.stats(tb.lan), &tally, attempted);
+        RunOutput {
+            report,
+            sim: tb.sim.clone(),
+            faults: if opts.record_faults {
+                tb.net.recorded_faults(tb.lan)
+            } else {
+                Vec::new()
+            },
+            journal: opts.journal.then(|| tb.sim.journal_take()),
+        }
+    }
+
+    /// Runs the scenario in two phases split at call `mid`, snapshotting
+    /// the whole quiescent system (scheduler, PRNG, hosts, every
+    /// protocol's private state, and the wire) between them; then restores
+    /// the snapshot and re-runs phase two on the same rig. The two reports
+    /// must be `Eq`-identical — the snapshot/restore bit-identity
+    /// guarantee — which [`SnapshotRun::assert_identical`] checks.
+    pub fn run_snapshotted(&self, mid: u32) -> SnapshotRun {
+        assert!(
+            mid > 0 && mid < self.calls,
+            "{}: midpoint {mid} must split {} calls",
+            self.label(),
+            self.calls
+        );
+        match self.stack {
+            StackKind::Paper(def) => self.run_rpc_snapshotted(RpcFlavor::Paper(def), mid),
+            StackKind::SunRpcUdp => {
+                self.run_rpc_snapshotted(RpcFlavor::SunRpc(SUNRPC_UDP_GRAPH), mid)
+            }
+            StackKind::SunRpcChannel => {
+                self.run_rpc_snapshotted(RpcFlavor::SunRpc(SUNRPC_CHANNEL_GRAPH), mid)
+            }
+            StackKind::Psync => self.run_psync_snapshotted(mid),
+        }
+    }
+
+    fn run_rpc_snapshotted(&self, flavor: RpcFlavor, mid: u32) -> SnapshotRun {
+        let opts = RunOpts::default();
+        let (tb, tally) = self.rpc_setup(flavor, &opts);
+        let attempted = self.calls * self.population.max(1);
+
+        // Phase one warms the system: sessions opened, channels allocated,
+        // RTO estimators trained, fault-schedule positions advanced.
+        self.spawn_rpc_clients(&tb, &tally, flavor, 0, mid);
+        assert_eq!(
+            tb.sim.run_until_idle().blocked,
+            0,
+            "{}: phase one left a blocked process",
+            self.label()
+        );
+
+        let sim_snap = tb.sim.snapshot().expect("quiescent after run_until_idle");
+        let net_snap = tb.net.snapshot();
+        let tally_snap = tally.lock().clone();
+
+        // Continue uninterrupted: the reference run.
+        self.spawn_rpc_clients(&tb, &tally, flavor, mid, self.calls);
+        let first = self.report(
+            tb.sim.run_until_idle(),
+            tb.net.stats(tb.lan),
+            &tally,
+            attempted,
+        );
+
+        // Rewind everything and replay phase two on the same rig.
+        tb.sim.restore(&sim_snap).expect("restore on the same rig");
+        tb.net.restore(&net_snap);
+        *tally.lock() = tally_snap;
+        self.spawn_rpc_clients(&tb, &tally, flavor, mid, self.calls);
+        let replayed = self.report(
+            tb.sim.run_until_idle(),
+            tb.net.stats(tb.lan),
+            &tally,
+            attempted,
+        );
+
+        SnapshotRun {
+            first,
+            replayed,
+            snapshot_at: sim_snap.now(),
+        }
+    }
+
+    /// Builds the two-party Psync rig: conversations opened on both sides,
+    /// ARP warmed, fault schedule installed, journaling/recording armed.
+    fn psync_setup(&self, opts: &RunOpts) -> PsyncRig {
         assert!(
             self.profile.is_lossless(),
             "{}: psync has no retransmission; only lossless profiles apply",
@@ -672,18 +859,34 @@ impl Scenario {
             false,
         );
         rig.net.set_fault_schedule(rig.lan, sched);
-        if let Some(ch) = opts.chooser {
-            rig.sim.set_chooser(ch);
+        if opts.journal {
+            rig.sim.journal_enable();
         }
+        if opts.record_faults {
+            rig.net.record_faults(rig.lan);
+        }
+        if let Some(cutoff) = opts.suppress_from {
+            rig.net.suppress_faults_from(rig.lan, Some(cutoff));
+        }
+        PsyncRig {
+            rig,
+            conv_a,
+            conv_b,
+            tally: Arc::new(Mutex::new(Tally::default())),
+        }
+    }
 
-        let tally = Arc::new(Mutex::new(Tally::default()));
-        let (seed, rounds) = (self.seed, self.calls);
+    /// Spawns one conversation phase: side A sends rounds `lo..hi` and
+    /// awaits each transform; side B serves `hi - lo` rounds.
+    fn spawn_psync_phase(&self, pr: &PsyncRig, lo: u32, hi: u32) {
+        let seed = self.seed;
 
         // Side A: send a round, await its transform.
-        let ta = Arc::clone(&tally);
-        let ha = rig.kernels[0].host();
-        rig.sim.spawn(ha, move |ctx| {
-            for i in 0..rounds {
+        let conv_a = Arc::clone(&pr.conv_a);
+        let ta = Arc::clone(&pr.tally);
+        let ha = pr.rig.kernels[0].host();
+        pr.rig.sim.spawn(ha, move |ctx| {
+            for i in lo..hi {
                 let req = chaos_payload(seed, u64::from(i));
                 let want = expected_reply(&req);
                 if conv_a.send(ctx, req).is_err() {
@@ -703,10 +906,11 @@ impl Scenario {
         });
 
         // Side B: receive each round, verify, reply in its context.
-        let tb2 = Arc::clone(&tally);
-        let hb = rig.kernels[1].host();
-        rig.sim.spawn(hb, move |ctx| {
-            for _ in 0..rounds {
+        let conv_b = Arc::clone(&pr.conv_b);
+        let tb2 = Arc::clone(&pr.tally);
+        let hb = pr.rig.kernels[1].host();
+        pr.rig.sim.spawn(hb, move |ctx| {
+            for _ in lo..hi {
                 let m = match conv_b.receive(ctx, PSYNC_RECV_TIMEOUT_NS) {
                     Ok(m) => m,
                     Err(_) => return,
@@ -720,10 +924,75 @@ impl Scenario {
                 let _ = conv_b.send(ctx, expected_reply(&m.data));
             }
         });
+    }
 
-        let run = rig.sim.run_until_idle();
-        let report = self.report(run, rig.net.stats(rig.lan), &tally, self.calls);
-        (report, rig.sim.clone())
+    fn run_psync(&self, mut opts: RunOpts) -> RunOutput {
+        let chooser = opts.chooser.take();
+        let pr = self.psync_setup(&opts);
+        if let Some(ch) = chooser {
+            pr.rig.sim.set_chooser(ch);
+        }
+        self.spawn_psync_phase(&pr, 0, self.calls);
+        let run = pr.rig.sim.run_until_idle();
+        let report = self.report(run, pr.rig.net.stats(pr.rig.lan), &pr.tally, self.calls);
+        RunOutput {
+            report,
+            sim: pr.rig.sim.clone(),
+            faults: if opts.record_faults {
+                pr.rig.net.recorded_faults(pr.rig.lan)
+            } else {
+                Vec::new()
+            },
+            journal: opts.journal.then(|| pr.rig.sim.journal_take()),
+        }
+    }
+
+    fn run_psync_snapshotted(&self, mid: u32) -> SnapshotRun {
+        let pr = self.psync_setup(&RunOpts::default());
+
+        self.spawn_psync_phase(&pr, 0, mid);
+        assert_eq!(
+            pr.rig.sim.run_until_idle().blocked,
+            0,
+            "{}: phase one left a blocked process",
+            self.label()
+        );
+
+        let sim_snap = pr
+            .rig
+            .sim
+            .snapshot()
+            .expect("quiescent after run_until_idle");
+        let net_snap = pr.rig.net.snapshot();
+        let tally_snap = pr.tally.lock().clone();
+
+        self.spawn_psync_phase(&pr, mid, self.calls);
+        let first = self.report(
+            pr.rig.sim.run_until_idle(),
+            pr.rig.net.stats(pr.rig.lan),
+            &pr.tally,
+            self.calls,
+        );
+
+        pr.rig
+            .sim
+            .restore(&sim_snap)
+            .expect("restore on the same rig");
+        pr.rig.net.restore(&net_snap);
+        *pr.tally.lock() = tally_snap;
+        self.spawn_psync_phase(&pr, mid, self.calls);
+        let replayed = self.report(
+            pr.rig.sim.run_until_idle(),
+            pr.rig.net.stats(pr.rig.lan),
+            &pr.tally,
+            self.calls,
+        );
+
+        SnapshotRun {
+            first,
+            replayed,
+            snapshot_at: sim_snap.now(),
+        }
     }
 
     fn report(
@@ -753,6 +1022,41 @@ impl Scenario {
 enum RpcFlavor {
     Paper(StackDef),
     SunRpc(&'static str),
+}
+
+/// The Psync two-party rig plus the handles a phased run needs.
+struct PsyncRig {
+    rig: inet::testbed::Lan,
+    conv_a: Arc<psync::Conversation>,
+    conv_b: Arc<psync::Conversation>,
+    tally: Arc<Mutex<Tally>>,
+}
+
+/// Outcome of [`Scenario::run_snapshotted`]: the uninterrupted run and
+/// the restore-and-replay run, which must be bit-identical.
+#[derive(Clone, Debug)]
+pub struct SnapshotRun {
+    /// Phase one + phase two, run straight through (the snapshot was
+    /// taken between the phases but never used).
+    pub first: ChaosReport,
+    /// The same phase two re-run after restoring the snapshot.
+    pub replayed: ChaosReport,
+    /// Virtual time at which the snapshot was captured.
+    pub snapshot_at: u64,
+}
+
+impl SnapshotRun {
+    /// Panics unless the replayed run is `Eq`-identical to the
+    /// uninterrupted one — the snapshot/restore bit-identity guarantee
+    /// (this covers `RunReport`, and with it `sched_hash`).
+    pub fn assert_identical(&self) {
+        assert_eq!(
+            self.first, self.replayed,
+            "restore-and-replay diverged from the uninterrupted run \
+             (snapshot at t={}ns)",
+            self.snapshot_at
+        );
+    }
 }
 
 /// Builds the full soak matrix: every paper RPC stack plus the Sun RPC and

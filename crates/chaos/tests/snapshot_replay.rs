@@ -1,0 +1,234 @@
+//! Tentpole invariants for snapshot / journal / replay.
+//!
+//! * Snapshot bit-identity: a run that snapshots a warmed, quiescent
+//!   system mid-soak, restores, and replays the tail produces a
+//!   `ChaosReport` (including `RunReport` and `sched_hash`) `Eq`-equal
+//!   to the run that continued uninterrupted — for every paper stack,
+//!   both Sun RPC compositions, and Psync.
+//! * Journal replay: a journaled run's tie picks, replayed through a
+//!   [`chaos`-installed] chooser, reproduce the identical report and
+//!   schedule fingerprint; the journal round-trips through its wire
+//!   encoding.
+//! * Bisection: a seeded multi-fault failure minimizes to a single
+//!   culprit fault event with a replayable repro.
+
+use chaos::bisect::{bisect, BisectError};
+use chaos::{Profile, Scenario, StackKind};
+use xkernel::journal::Journal;
+
+fn scenario(stack: StackKind, profile: Profile, seed: u64, calls: u32) -> Scenario {
+    Scenario {
+        stack,
+        profile,
+        seed,
+        calls,
+        population: 1,
+    }
+}
+
+#[test]
+fn snapshot_restore_is_bit_identical_on_every_stack() {
+    let mut stacks = StackKind::all_paper();
+    stacks.push(StackKind::SunRpcUdp);
+    stacks.push(StackKind::SunRpcChannel);
+    for stack in stacks {
+        let sc = scenario(stack, Profile::FaultFree, 11, 6);
+        let out = sc.run_snapshotted(3);
+        out.assert_identical();
+        assert!(
+            out.snapshot_at > 0,
+            "{}: snapshot time recorded",
+            sc_name(&sc)
+        );
+        // The phased run still satisfies every chaos invariant.
+        sc.check(&out.first);
+    }
+}
+
+#[test]
+fn snapshot_restore_is_bit_identical_under_faults() {
+    // A warmed system under adversity: adaptive RTO trained, fault
+    // schedule mid-stream, retransmission state exercised.
+    for (stack, profile) in [
+        (StackKind::Paper(xrpc::stacks::L_RPC_VIP), Profile::Lossy),
+        (StackKind::Paper(xrpc::stacks::L_RPC_VIP), Profile::Jittery),
+        (StackKind::SunRpcUdp, Profile::Lossy),
+        (StackKind::SunRpcChannel, Profile::Bursty),
+    ] {
+        let sc = scenario(stack, profile, 7, 8);
+        let out = sc.run_snapshotted(4);
+        out.assert_identical();
+        sc.check(&out.first);
+    }
+}
+
+#[test]
+fn snapshot_restore_is_bit_identical_on_psync() {
+    let sc = scenario(StackKind::Psync, Profile::Jittery, 5, 6);
+    let out = sc.run_snapshotted(3);
+    out.assert_identical();
+    sc.check(&out.first);
+}
+
+#[test]
+fn phased_report_matches_scenario_invariants_with_population() {
+    let sc = Scenario {
+        stack: StackKind::Paper(xrpc::stacks::L_RPC_VIP),
+        profile: Profile::Lossy,
+        seed: 3,
+        calls: 6,
+        population: 3,
+    };
+    let out = sc.run_snapshotted(2);
+    out.assert_identical();
+    sc.check(&out.first);
+}
+
+#[test]
+fn journaled_run_replays_to_identical_schedule() {
+    let sc = scenario(
+        StackKind::Paper(xrpc::stacks::L_RPC_VIP),
+        Profile::Lossy,
+        9,
+        6,
+    );
+    let (report, journal) = sc.run_journaled();
+    assert!(
+        journal.matches(report.run.sched_hash),
+        "journal fingerprint matches the run it recorded"
+    );
+    let (replayed, rejournal) = sc.run_replayed(&journal);
+    assert_eq!(report, replayed, "replayed run is bit-identical");
+    assert!(
+        rejournal.matches(report.run.sched_hash),
+        "replay reproduced the original schedule fingerprint"
+    );
+    assert_eq!(
+        journal.records, rejournal.records,
+        "replay re-recorded the identical decision stream"
+    );
+}
+
+#[test]
+fn journal_round_trips_through_wire_encoding() {
+    let sc = scenario(StackKind::SunRpcUdp, Profile::Lossy, 4, 5);
+    let (_, journal) = sc.run_journaled();
+    assert!(
+        !journal.faults().is_empty(),
+        "a lossy run journals realized faults"
+    );
+    let bytes = journal.encode();
+    let decoded = Journal::decode(&bytes).expect("well-formed journal decodes");
+    assert_eq!(journal, decoded);
+}
+
+#[test]
+fn suppressing_all_faults_recovers_the_clean_run() {
+    let sc = scenario(
+        StackKind::Paper(xrpc::stacks::L_RPC_VIP),
+        Profile::Lossy,
+        9,
+        6,
+    );
+    let (faulty, events) = sc.run_recorded(None);
+    assert!(!events.is_empty(), "lossy profile records fault events");
+    let (clean, replay_events) = sc.run_recorded(Some(0));
+    // Draw parity holds up to the first suppressed fault: both runs are
+    // identical until that packet, so the first would-be fault coincides.
+    // After it the workloads legitimately diverge (no retransmissions in
+    // the clean run), so only the prefix is comparable.
+    assert_eq!(
+        events.first(),
+        replay_events.first(),
+        "identical first fault draw: suppression must not shift the PRNG"
+    );
+    assert_eq!(clean.run.hosts[0].retransmits, 0, "no faults, no retries");
+    assert!(faulty.run.hosts[0].retransmits > 0, "faults forced retries");
+    sc.check(&clean);
+}
+
+#[test]
+fn fault_draw_accounting_is_prefix_stable_at_every_cutoff() {
+    // The bisector's soundness rests on one distributional property: the
+    // fault schedule consumes its PRNG draws *before* the suppression
+    // cutoff is applied, so a probe run keeping `events[..k]` realizes
+    // exactly that prefix — same packet indices, same wire times, same
+    // drawn fates — for every k. (Beyond the prefix the workloads
+    // legitimately diverge: suppressed faults mean no retransmissions,
+    // different packets, different draw interleavings.)
+    for (stack, profile) in [
+        (StackKind::Paper(xrpc::stacks::L_RPC_VIP), Profile::Lossy),
+        (StackKind::SunRpcUdp, Profile::Chaotic),
+    ] {
+        let sc = scenario(stack, profile, 9, 8);
+        let (_, events) = sc.run_recorded(None);
+        assert!(
+            events.len() >= 2,
+            "{}/{:?}: need a multi-fault timeline",
+            sc_name(&sc),
+            profile
+        );
+        for k in 0..events.len() {
+            let cutoff = if k == 0 { 0 } else { events[k - 1].index + 1 };
+            let (_, probe) = sc.run_recorded(Some(cutoff));
+            assert!(
+                probe.len() >= k,
+                "{}/{:?} keep({k}): probe realized only {} events",
+                sc_name(&sc),
+                profile,
+                probe.len()
+            );
+            assert_eq!(
+                &probe[..k],
+                &events[..k],
+                "{}/{:?} keep({k}): suppression shifted a PRNG draw",
+                sc_name(&sc),
+                profile
+            );
+        }
+    }
+}
+
+#[test]
+fn bisect_minimizes_to_a_single_culprit() {
+    // No retransmission budget rides out Blackout's ~2 s bidirectional
+    // outage — a deterministic, multi-fault, fault-induced failure.
+    let sc = scenario(StackKind::SunRpcUdp, Profile::Blackout, 2, 8);
+    let (full, events) = sc.run_recorded(None);
+    assert!(
+        !sc.invariant_failures(&full).is_empty(),
+        "blackout must defeat the retry budget"
+    );
+    assert!(events.len() > 1, "a multi-fault timeline to minimize");
+
+    let out = bisect(&sc).expect("a fault-induced failure bisects");
+    assert!(out.kept >= 1 && out.kept <= out.total);
+    assert!(!out.failures.is_empty(), "minimal run names its failure");
+    assert!(
+        out.repro.contains("SUNRPC-UDP") && out.repro.contains("seed=2"),
+        "repro is self-describing: {}",
+        out.repro
+    );
+    // The verdict is replayable from the repro's two cutoffs: keeping the
+    // culprit fails, cutting just below it passes.
+    let (failing, _) = sc.run_recorded(Some(out.culprit.index + 1));
+    assert!(!sc.invariant_failures(&failing).is_empty());
+    let below = events[..out.kept - 1].last().map_or(0, |e| e.index + 1);
+    let (passing, _) = sc.run_recorded(Some(below));
+    assert!(sc.invariant_failures(&passing).is_empty());
+}
+
+#[test]
+fn bisect_rejects_a_passing_scenario() {
+    let sc = scenario(
+        StackKind::Paper(xrpc::stacks::L_RPC_VIP),
+        Profile::Lossy,
+        9,
+        4,
+    );
+    assert_eq!(bisect(&sc).unwrap_err(), BisectError::NoFailure);
+}
+
+fn sc_name(sc: &Scenario) -> &'static str {
+    sc.stack.name()
+}

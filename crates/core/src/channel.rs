@@ -72,6 +72,10 @@ struct Outstanding {
     sent_at: u64,
 }
 
+/// Default cap on consecutive exponential-backoff doublings; the
+/// `SetBackoff` control op overrides it until the next reboot.
+const DEFAULT_MAX_BACKOFF: u32 = 6;
+
 /// Run-time-tunable knobs (the `SetTimeout` / `SetBackoff` control ops).
 struct Tunables {
     base_timeout_ns: AtomicU64,
@@ -383,7 +387,7 @@ impl Channel {
                 base_timeout_ns: AtomicU64::new(cfg.base_timeout_ns),
                 peer_boot: AtomicU32::new(0),
                 adaptive: AtomicBool::new(cfg.adaptive),
-                max_backoff: AtomicU32::new(6),
+                max_backoff: AtomicU32::new(DEFAULT_MAX_BACKOFF),
             },
             cfg,
             lower_name: OnceLock::new(),
@@ -456,6 +460,18 @@ impl Channel {
     /// function at run time (chaos experiments compare the two).
     pub fn set_adaptive(&self, on: bool) {
         self.tunables.adaptive.store(on, Ordering::Relaxed);
+    }
+
+    /// Current backoff-doubling cap, as `SetBackoff` last left it (resets
+    /// to the default on reboot).
+    pub fn max_backoff(&self) -> u32 {
+        self.tunables.max_backoff.load(Ordering::Relaxed)
+    }
+
+    /// Whether the adaptive RTO is currently in effect (resets to the
+    /// configured value on reboot).
+    pub fn adaptive(&self) -> bool {
+        self.tunables.adaptive.load(Ordering::Relaxed)
     }
 
     fn request_in(
@@ -686,6 +702,15 @@ impl Protocol for Channel {
         self.tunables
             .base_timeout_ns
             .store(self.cfg.base_timeout_ns, Ordering::Relaxed);
+        // Every RTO knob re-cold-seeds, including the run-time overrides
+        // (`SetBackoff` / `set_adaptive`): a fresh incarnation must not
+        // inherit policy its config never specified.
+        self.tunables
+            .max_backoff
+            .store(DEFAULT_MAX_BACKOFF, Ordering::Relaxed);
+        self.tunables
+            .adaptive
+            .store(self.cfg.adaptive, Ordering::Relaxed);
         self.estimator.lock().reset(self.cfg.base_timeout_ns);
         Ok(())
     }
@@ -768,11 +793,131 @@ impl Protocol for Channel {
                     .control(ctx, self.lower, &ControlOp::GetMaxPacket)?;
                 Ok(ControlRes::Size(r.size()?.saturating_sub(CHANNEL_HDR_LEN)))
             }
+            // The RTO knobs are protocol-wide (sessions store into the same
+            // tunables), so policy sweeps can set them without a session.
+            ControlOp::SetTimeout(ns) => {
+                self.tunables.base_timeout_ns.store(*ns, Ordering::Relaxed);
+                Ok(ControlRes::Done)
+            }
+            ControlOp::SetBackoff(n) => {
+                self.tunables.max_backoff.store(*n, Ordering::Relaxed);
+                Ok(ControlRes::Done)
+            }
             _ => Err(XError::Unsupported("channel control")),
         }
+    }
+
+    // Sessions are captured *with* their mutable state: a client channel's
+    // sequence counter and a server channel's at-most-once record (last
+    // seq, saved reply) both advance during a run and must rewind with it.
+    fn snap(&self, _ctx: &Ctx) -> Option<SnapBlob> {
+        let clients = self
+            .clients
+            .lock()
+            .iter()
+            .map(|(k, c)| {
+                let st = c.st.lock();
+                debug_assert!(
+                    st.outstanding.is_none(),
+                    "channel snapshot with an outstanding request (not quiescent)"
+                );
+                (*k, (Arc::clone(c), st.seq))
+            })
+            .collect();
+        let servers = self
+            .servers
+            .lock()
+            .iter()
+            .map(|(k, srv)| {
+                let st = srv.st.lock();
+                let snap = ServerSnap {
+                    lls: Arc::clone(&srv.lls.lock()),
+                    last_boot: st.last_boot,
+                    last_seq: st.last_seq,
+                    in_progress: st.in_progress,
+                    saved_reply: st.saved_reply.clone(),
+                };
+                (*k, (Arc::clone(srv), snap))
+            })
+            .collect();
+        Some(Arc::new(ChanSnap {
+            boot: self.boot_id(),
+            next_chan: *self.next_chan.lock(),
+            estimator: self.estimator.lock().clone(),
+            base_timeout_ns: self.tunables.base_timeout_ns.load(Ordering::Relaxed),
+            peer_boot: self.tunables.peer_boot.load(Ordering::Relaxed),
+            adaptive: self.tunables.adaptive.load(Ordering::Relaxed),
+            max_backoff: self.tunables.max_backoff.load(Ordering::Relaxed),
+            enables: self.enables.lock().clone(),
+            clients,
+            servers,
+        }))
+    }
+
+    fn restore_snap(&self, _ctx: &Ctx, blob: &SnapBlob) -> XResult<()> {
+        let s = snap_downcast::<ChanSnap>(blob, "channel")?;
+        *self.boot.lock() = s.boot;
+        *self.next_chan.lock() = s.next_chan;
+        *self.estimator.lock() = s.estimator.clone();
+        self.tunables
+            .base_timeout_ns
+            .store(s.base_timeout_ns, Ordering::Relaxed);
+        self.tunables
+            .peer_boot
+            .store(s.peer_boot, Ordering::Relaxed);
+        self.tunables.adaptive.store(s.adaptive, Ordering::Relaxed);
+        self.tunables
+            .max_backoff
+            .store(s.max_backoff, Ordering::Relaxed);
+        *self.enables.lock() = s.enables.clone();
+        {
+            let mut clients = self.clients.lock();
+            clients.clear();
+            for (k, (sess, seq)) in &s.clients {
+                let mut st = sess.st.lock();
+                st.seq = *seq;
+                st.outstanding = None;
+                clients.insert(*k, Arc::clone(sess));
+            }
+        }
+        {
+            let mut servers = self.servers.lock();
+            servers.clear();
+            for (k, (sess, snap)) in &s.servers {
+                *sess.lls.lock() = Arc::clone(&snap.lls);
+                let mut st = sess.st.lock();
+                st.last_boot = snap.last_boot;
+                st.last_seq = snap.last_seq;
+                st.in_progress = snap.in_progress;
+                st.saved_reply = snap.saved_reply.clone();
+                servers.insert(*k, Arc::clone(sess));
+            }
+        }
+        Ok(())
     }
 
     fn as_any(&self) -> &dyn Any {
         self
     }
+}
+
+struct ServerSnap {
+    lls: SessionRef,
+    last_boot: u32,
+    last_seq: u32,
+    in_progress: Option<u32>,
+    saved_reply: Option<(u32, Message)>,
+}
+
+struct ChanSnap {
+    boot: u32,
+    next_chan: u16,
+    estimator: RtoEstimator,
+    base_timeout_ns: u64,
+    peer_boot: u32,
+    adaptive: bool,
+    max_backoff: u32,
+    enables: HashMap<u32, ProtoId>,
+    clients: HashMap<(u16, u32), (Arc<ChanClientSession>, u32)>,
+    servers: HashMap<(PeerKey, u16, u32), (Arc<ChanServerSession>, ServerSnap)>,
 }

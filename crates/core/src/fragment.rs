@@ -648,9 +648,61 @@ impl Protocol for Fragment {
         }
     }
 
+    // The send cache and partial reassemblies are timer-reclaimed and thus
+    // empty at any quiescent instant; what persists is the sequence
+    // counter, enables, session caches, and traffic counters.
+    fn snap(&self, _ctx: &Ctx) -> Option<SnapBlob> {
+        debug_assert!(
+            self.send_cache.lock().is_empty() && self.rasm.lock().is_empty(),
+            "fragment snapshot with retained/partial messages (not quiescent)"
+        );
+        Some(Arc::new(FragSnap {
+            next_seq: *self.next_seq.lock(),
+            enables: self.enables.lock().clone(),
+            passive: self.passive.lock().clone(),
+            lowers: self.lowers.lock().clone(),
+            stats: self.stats(),
+        }))
+    }
+
+    fn restore_snap(&self, _ctx: &Ctx, blob: &SnapBlob) -> XResult<()> {
+        let s = snap_downcast::<FragSnap>(blob, "fragment")?;
+        self.send_cache.lock().clear();
+        self.rasm.lock().clear();
+        *self.next_seq.lock() = s.next_seq;
+        *self.enables.lock() = s.enables.clone();
+        *self.passive.lock() = s.passive.clone();
+        *self.lowers.lock() = s.lowers.clone();
+        self.counters
+            .messages_sent
+            .store(s.stats.messages_sent, Ordering::Relaxed);
+        self.counters
+            .fragments_sent
+            .store(s.stats.fragments_sent, Ordering::Relaxed);
+        self.counters
+            .messages_delivered
+            .store(s.stats.messages_delivered, Ordering::Relaxed);
+        self.counters
+            .nacks_sent
+            .store(s.stats.nacks_sent, Ordering::Relaxed);
+        self.counters
+            .nacks_received
+            .store(s.stats.nacks_received, Ordering::Relaxed);
+        Ok(())
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
+}
+
+#[derive(Clone)]
+struct FragSnap {
+    next_seq: u32,
+    enables: HashMap<u32, ProtoId>,
+    passive: HashMap<(u32, u32), SessionRef>,
+    lowers: HashMap<u32, (SessionRef, usize)>,
+    stats: FragStats,
 }
 
 #[cfg(test)]

@@ -108,6 +108,7 @@ struct Pool {
     free: Mutex<Vec<Arc<MChan>>>,
 }
 
+#[derive(Clone)]
 struct ServerState {
     last_boot: u32,
     last_seq: u32,
@@ -855,7 +856,113 @@ impl Protocol for Mrpc {
         }
     }
 
+    // Client channels are exclusively held during a call, so `out` is None
+    // at quiescence and only each channel's sequence counter is captured.
+    // Server channels keep durable at-most-once state — including partial
+    // request reassemblies, which (unlike FRAGMENT's) have no reclaim timer
+    // — so the whole ServerState is cloned.
+    fn snap(&self, _ctx: &Ctx) -> Option<SnapBlob> {
+        let pools = self
+            .pools
+            .lock()
+            .iter()
+            .map(|(k, p)| {
+                (
+                    *k,
+                    MPoolSnap {
+                        pool: Arc::clone(p),
+                        sema: p.sema.snap_state(),
+                        free: p.free.lock().clone(),
+                    },
+                )
+            })
+            .collect();
+        let chans = self
+            .chans
+            .lock()
+            .iter()
+            .map(|(k, c)| {
+                let st = c.st.lock();
+                debug_assert!(
+                    st.out.is_none(),
+                    "mrpc snapshot with an outstanding call (not quiescent)"
+                );
+                (*k, (Arc::clone(c), st.seq))
+            })
+            .collect();
+        let servers = self
+            .servers
+            .lock()
+            .iter()
+            .map(|(k, srv)| (*k, (Arc::clone(srv), srv.st.lock().clone())))
+            .collect();
+        Some(Arc::new(MrpcSnap {
+            boot: self.boot_id(),
+            next_chan: *self.next_chan.lock(),
+            pools,
+            chans,
+            servers,
+            sessions: self.sessions.lock().clone(),
+            lowers: self.lowers.lock().clone(),
+            shepherds: self.shepherds.stats(),
+        }))
+    }
+
+    fn restore_snap(&self, _ctx: &Ctx, blob: &SnapBlob) -> XResult<()> {
+        let s = snap_downcast::<MrpcSnap>(blob, "sprite")?;
+        *self.boot.lock() = s.boot;
+        *self.next_chan.lock() = s.next_chan;
+        {
+            let mut pools = self.pools.lock();
+            pools.clear();
+            for (k, ps) in &s.pools {
+                ps.pool.sema.restore_state(ps.sema);
+                *ps.pool.free.lock() = ps.free.clone();
+                pools.insert(*k, Arc::clone(&ps.pool));
+            }
+        }
+        {
+            let mut chans = self.chans.lock();
+            chans.clear();
+            for (k, (mc, seq)) in &s.chans {
+                let mut st = mc.st.lock();
+                st.seq = *seq;
+                st.out = None;
+                chans.insert(*k, Arc::clone(mc));
+            }
+        }
+        {
+            let mut servers = self.servers.lock();
+            servers.clear();
+            for (k, (srv, st)) in &s.servers {
+                *srv.st.lock() = st.clone();
+                servers.insert(*k, Arc::clone(srv));
+            }
+        }
+        *self.sessions.lock() = s.sessions.clone();
+        *self.lowers.lock() = s.lowers.clone();
+        self.shepherds.restore_stats(s.shepherds);
+        Ok(())
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
+}
+
+struct MPoolSnap {
+    pool: Arc<Pool>,
+    sema: (i64, u64),
+    free: Vec<Arc<MChan>>,
+}
+
+struct MrpcSnap {
+    boot: u32,
+    next_chan: u16,
+    pools: HashMap<u32, MPoolSnap>,
+    chans: HashMap<u16, (Arc<MChan>, u32)>,
+    servers: HashMap<(u32, u16), (Arc<MServer>, ServerState)>,
+    sessions: HashMap<(u32, u16), SessionRef>,
+    lowers: HashMap<u32, (SessionRef, usize)>,
+    shepherds: ShepherdStats,
 }

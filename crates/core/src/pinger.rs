@@ -234,7 +234,29 @@ impl Protocol for Pinger {
         }
     }
 
+    fn snap(&self, _ctx: &Ctx) -> Option<SnapBlob> {
+        debug_assert!(
+            self.waiting.lock().is_none() && self.series.lock().is_none(),
+            "pinger snapshot with a round trip in flight (not quiescent)"
+        );
+        Some(Arc::new(PingerSnap {
+            sessions: self.sessions.lock().clone(),
+        }))
+    }
+
+    fn restore_snap(&self, _ctx: &Ctx, blob: &SnapBlob) -> XResult<()> {
+        let s = snap_downcast::<PingerSnap>(blob, "pinger")?;
+        *self.waiting.lock() = None;
+        *self.series.lock() = None;
+        *self.sessions.lock() = s.sessions.clone();
+        Ok(())
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
+}
+
+struct PingerSnap {
+    sessions: HashMap<u32, SessionRef>,
 }

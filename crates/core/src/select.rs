@@ -436,9 +436,75 @@ impl Protocol for Select {
         }
     }
 
+    // Handlers are registration-time configuration; what must rewind is the
+    // channel pools (the free list's LIFO *order* decides which channel the
+    // next call uses), the session cache, and the counters.
+    fn snap(&self, _ctx: &Ctx) -> Option<SnapBlob> {
+        let pools = self
+            .pools
+            .lock()
+            .iter()
+            .map(|(k, p)| {
+                let free = p.free.lock().clone();
+                debug_assert_eq!(
+                    free.len(),
+                    self.cfg.channels_per_peer,
+                    "select snapshot with channels checked out (not quiescent)"
+                );
+                (
+                    *k,
+                    PoolSnap {
+                        pool: Arc::clone(p),
+                        sema: p.sema.snap_state(),
+                        free,
+                    },
+                )
+            })
+            .collect();
+        Some(Arc::new(SelectSnap {
+            forward: self.forward.lock().clone(),
+            pools,
+            sessions: self.sessions.lock().clone(),
+            passive_opens: self.passive_opens.load(Ordering::Relaxed),
+            shepherds: self.shepherds.stats(),
+        }))
+    }
+
+    fn restore_snap(&self, _ctx: &Ctx, blob: &SnapBlob) -> XResult<()> {
+        let s = snap_downcast::<SelectSnap>(blob, "select")?;
+        *self.forward.lock() = s.forward.clone();
+        {
+            let mut pools = self.pools.lock();
+            pools.clear();
+            for (k, ps) in &s.pools {
+                ps.pool.sema.restore_state(ps.sema);
+                *ps.pool.free.lock() = ps.free.clone();
+                pools.insert(*k, Arc::clone(&ps.pool));
+            }
+        }
+        *self.sessions.lock() = s.sessions.clone();
+        self.passive_opens.store(s.passive_opens, Ordering::Relaxed);
+        self.shepherds.restore_stats(s.shepherds);
+        Ok(())
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
+}
+
+struct PoolSnap {
+    pool: Arc<ChanPool>,
+    sema: (i64, u64),
+    free: Vec<SessionRef>,
+}
+
+struct SelectSnap {
+    forward: HashMap<u16, IpAddr>,
+    pools: HashMap<u32, PoolSnap>,
+    sessions: HashMap<(u32, u16), SessionRef>,
+    passive_opens: u64,
+    shepherds: ShepherdStats,
 }
 
 // ---------------------------------------------------------------------------
@@ -565,7 +631,26 @@ impl Protocol for Rdgram {
         Ok(())
     }
 
+    fn snap(&self, _ctx: &Ctx) -> Option<SnapBlob> {
+        Some(Arc::new(RdgramSnap {
+            upper: *self.upper.lock(),
+            sessions: self.sessions.lock().clone(),
+        }))
+    }
+
+    fn restore_snap(&self, _ctx: &Ctx, blob: &SnapBlob) -> XResult<()> {
+        let s = snap_downcast::<RdgramSnap>(blob, "rdgram")?;
+        *self.upper.lock() = s.upper;
+        *self.sessions.lock() = s.sessions.clone();
+        Ok(())
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
+}
+
+struct RdgramSnap {
+    upper: Option<ProtoId>,
+    sessions: HashMap<u32, SessionRef>,
 }

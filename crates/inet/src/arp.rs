@@ -53,6 +53,7 @@ pub const ARP_DEFAULT_CACHE: usize = 512;
 /// Recency is a logical access counter, not wall time, so eviction order
 /// is deterministic; ties (possible only via [`ArpCache::clear`], which
 /// rewinds nothing) break towards the numerically smallest address.
+#[derive(Clone)]
 struct ArpCache {
     map: HashMap<IpAddr, (Entry, u64)>,
     capacity: usize,
@@ -293,6 +294,21 @@ impl Protocol for Arp {
             }
             _ => Err(XError::Unsupported("arp control")),
         }
+    }
+
+    fn snap(&self, _ctx: &Ctx) -> Option<SnapBlob> {
+        debug_assert!(
+            self.waiters.lock().is_empty(),
+            "arp snapshot with parked resolvers (not quiescent)"
+        );
+        Some(Arc::new(self.cache.lock().clone()))
+    }
+
+    fn restore_snap(&self, _ctx: &Ctx, blob: &SnapBlob) -> XResult<()> {
+        let s = snap_downcast::<ArpCache>(blob, "arp")?;
+        self.waiters.lock().clear();
+        *self.cache.lock() = s.clone();
+        Ok(())
     }
 
     fn as_any(&self) -> &dyn Any {

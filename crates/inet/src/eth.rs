@@ -224,9 +224,31 @@ impl Protocol for Eth {
         }
     }
 
+    // The passive-session cache is state, not wiring: a warm entry skips a
+    // SessionCreate charge, so restore must rewind it for bit-identity.
+    fn snap(&self, _ctx: &Ctx) -> Option<SnapBlob> {
+        Some(Arc::new(EthSnap {
+            enables: self.enables.lock().clone(),
+            passive: self.passive.lock().clone(),
+        }))
+    }
+
+    fn restore_snap(&self, _ctx: &Ctx, blob: &SnapBlob) -> XResult<()> {
+        let s = snap_downcast::<EthSnap>(blob, "eth")?;
+        *self.enables.lock() = s.enables.clone();
+        *self.passive.lock() = s.passive.clone();
+        Ok(())
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
+}
+
+#[derive(Clone)]
+struct EthSnap {
+    enables: HashMap<u16, ProtoId>,
+    passive: HashMap<(EthAddr, u16), SessionRef>,
 }
 
 #[cfg(test)]

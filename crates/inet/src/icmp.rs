@@ -169,6 +169,21 @@ impl Protocol for Icmp {
         }
     }
 
+    fn snap(&self, _ctx: &Ctx) -> Option<SnapBlob> {
+        debug_assert!(
+            self.waiting.lock().is_empty(),
+            "icmp snapshot with parked pingers (not quiescent)"
+        );
+        Some(Arc::new(*self.next_seq.lock()))
+    }
+
+    fn restore_snap(&self, _ctx: &Ctx, blob: &SnapBlob) -> XResult<()> {
+        let s = snap_downcast::<u16>(blob, "icmp")?;
+        self.waiting.lock().clear();
+        *self.next_seq.lock() = *s;
+        Ok(())
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }

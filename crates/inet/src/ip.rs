@@ -603,7 +603,62 @@ impl Protocol for Ip {
         }
     }
 
+    // Partial reassemblies are timer-guarded and thus empty at any
+    // quiescent instant; everything else — routes, the datagram id
+    // counter, session caches (they gate SessionCreate charges), and
+    // counters — is captured.
+    fn snap(&self, _ctx: &Ctx) -> Option<SnapBlob> {
+        debug_assert!(
+            self.reasm.lock().is_empty(),
+            "ip snapshot with partial reassemblies (not quiescent)"
+        );
+        Some(Arc::new(IpSnap {
+            routes: self.routes.lock().clone(),
+            next_id: *self.next_id.lock(),
+            enables: self.enables.lock().clone(),
+            passive: self.passive.lock().clone(),
+            eth_cache: self.eth_cache.lock().clone(),
+            stats: self.stats(),
+        }))
+    }
+
+    fn restore_snap(&self, _ctx: &Ctx, blob: &SnapBlob) -> XResult<()> {
+        let s = snap_downcast::<IpSnap>(blob, "ip")?;
+        self.reasm.lock().clear();
+        *self.routes.lock() = s.routes.clone();
+        *self.next_id.lock() = s.next_id;
+        *self.enables.lock() = s.enables.clone();
+        *self.passive.lock() = s.passive.clone();
+        *self.eth_cache.lock() = s.eth_cache.clone();
+        self.stats
+            .forwarded
+            .store(s.stats.forwarded, Ordering::Relaxed);
+        self.stats
+            .fragments_sent
+            .store(s.stats.fragments_sent, Ordering::Relaxed);
+        self.stats
+            .fragments_received
+            .store(s.stats.fragments_received, Ordering::Relaxed);
+        self.stats
+            .reassembled
+            .store(s.stats.reassembled, Ordering::Relaxed);
+        self.stats
+            .reassembly_timeouts
+            .store(s.stats.reassembly_timeouts, Ordering::Relaxed);
+        Ok(())
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
+}
+
+#[derive(Clone)]
+struct IpSnap {
+    routes: Vec<Route>,
+    next_id: u16,
+    enables: HashMap<u8, ProtoId>,
+    passive: HashMap<(IpAddr, u8), SessionRef>,
+    eth_cache: HashMap<(usize, EthAddr), SessionRef>,
+    stats: IpStats,
 }

@@ -348,9 +348,32 @@ impl Protocol for Udp {
         }
     }
 
+    fn snap(&self, _ctx: &Ctx) -> Option<SnapBlob> {
+        Some(Arc::new(UdpSnap {
+            enables: self.enables.lock().clone(),
+            sessions: self.sessions.lock().clone(),
+            next_ephemeral: *self.next_ephemeral.lock(),
+        }))
+    }
+
+    fn restore_snap(&self, _ctx: &Ctx, blob: &SnapBlob) -> XResult<()> {
+        let s = snap_downcast::<UdpSnap>(blob, "udp")?;
+        *self.enables.lock() = s.enables.clone();
+        *self.sessions.lock() = s.sessions.clone();
+        *self.next_ephemeral.lock() = s.next_ephemeral;
+        Ok(())
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
+}
+
+#[derive(Clone)]
+struct UdpSnap {
+    enables: HashMap<Port, ProtoId>,
+    sessions: HashMap<(Port, u32, Port), SessionRef>,
+    next_ephemeral: Port,
 }
 
 #[cfg(test)]

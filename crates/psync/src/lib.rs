@@ -50,6 +50,7 @@ pub struct PsyncMsg {
     pub data: Vec<u8>,
 }
 
+#[derive(Clone)]
 struct ConvState {
     next_local: u32,
     delivered: HashSet<MsgId>,
@@ -315,9 +316,61 @@ impl Protocol for Psync {
         }
     }
 
+    // Conversations carry durable state: the context graph, an inbox the
+    // application may not have drained, and the availability semaphore's
+    // count (which may be positive at quiescence with a backlog — no
+    // assertion that it is zero).
+    fn snap(&self, _ctx: &Ctx) -> Option<SnapBlob> {
+        let convs = self
+            .convs
+            .lock()
+            .iter()
+            .map(|(k, c)| {
+                (
+                    *k,
+                    ConvSnap {
+                        conv: Arc::clone(c),
+                        st: c.st.lock().clone(),
+                        avail: c.avail.snap_state(),
+                    },
+                )
+            })
+            .collect();
+        Some(Arc::new(PsyncSnap {
+            convs,
+            lowers: self.lowers.lock().clone(),
+        }))
+    }
+
+    fn restore_snap(&self, _ctx: &Ctx, blob: &SnapBlob) -> XResult<()> {
+        let s = snap_downcast::<PsyncSnap>(blob, "psync")?;
+        {
+            let mut convs = self.convs.lock();
+            convs.clear();
+            for (k, cs) in &s.convs {
+                *cs.conv.st.lock() = cs.st.clone();
+                cs.conv.avail.restore_state(cs.avail);
+                convs.insert(*k, Arc::clone(&cs.conv));
+            }
+        }
+        *self.lowers.lock() = s.lowers.clone();
+        Ok(())
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
+}
+
+struct ConvSnap {
+    conv: Arc<Conversation>,
+    st: ConvState,
+    avail: (i64, u64),
+}
+
+struct PsyncSnap {
+    convs: HashMap<u32, ConvSnap>,
+    lowers: HashMap<u32, SessionRef>,
 }
 
 /// Lint contract for Psync: conversation IPC over an internet-like

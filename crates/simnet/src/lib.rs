@@ -107,6 +107,20 @@ struct Attachment {
     nic: Arc<Nic>,
 }
 
+/// One realized, *suppressible* fault (drop / duplicate / corrupt — not a
+/// delay) on a LAN, recorded in transmission order while
+/// [`SimNet::record_faults`] is active. This is the injected-fault timeline
+/// the chaos bisect driver binary-searches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Virtual time the frame hit the wire.
+    pub at: Time,
+    /// LAN-local packet index (transmission order).
+    pub index: u64,
+    /// The fate the fault schedule drew.
+    pub decision: FaultDecision,
+}
+
 struct Lan {
     cfg: LanConfig,
     faults: FaultSchedule,
@@ -114,6 +128,27 @@ struct Lan {
     packet_index: u64,
     stats: LanStats,
     attached: Vec<Attachment>,
+    /// Recording buffer for realized suppressible faults (`Some` while
+    /// [`SimNet::record_faults`] is active).
+    record: Option<Vec<FaultEvent>>,
+    /// Fault-suppression cutoff: packets with `index >= cutoff` have any
+    /// suppressible fault outcome overridden to Deliver — *after* the
+    /// schedule draws, so PRNG consumption per packet is unchanged.
+    suppress_from: Option<u64>,
+}
+
+/// Captured wire state of every LAN; see [`SimNet::snapshot`].
+#[derive(Clone)]
+pub struct NetSnapshot {
+    lans: Vec<LanSnap>,
+}
+
+#[derive(Clone)]
+struct LanSnap {
+    wire_free: Time,
+    packet_index: u64,
+    stats: LanStats,
+    faults: FaultSchedule,
 }
 
 struct NetInner {
@@ -149,6 +184,8 @@ impl SimNet {
             packet_index: 0,
             stats: LanStats::default(),
             attached: Vec::new(),
+            record: None,
+            suppress_from: None,
         });
         id
     }
@@ -166,6 +203,71 @@ impl SimNet {
     /// Reads a LAN's traffic counters.
     pub fn stats(&self, lan: LanId) -> LanStats {
         self.inner.lans.lock()[lan.0].stats
+    }
+
+    /// Starts recording realized suppressible faults (drop / duplicate /
+    /// corrupt — not delays) on `lan`, clearing any previous recording.
+    /// The timeline is read back with [`SimNet::recorded_faults`].
+    pub fn record_faults(&self, lan: LanId) {
+        self.inner.lans.lock()[lan.0].record = Some(Vec::new());
+    }
+
+    /// The faults recorded on `lan` since [`SimNet::record_faults`], in
+    /// transmission order. Empty if recording was never enabled.
+    pub fn recorded_faults(&self, lan: LanId) -> Vec<FaultEvent> {
+        self.inner.lans.lock()[lan.0]
+            .record
+            .clone()
+            .unwrap_or_default()
+    }
+
+    /// Suppresses injected faults on `lan` for every packet with
+    /// `index >= cutoff`: the fault schedule still *draws* each packet's
+    /// fate — so PRNG consumption per packet is identical to the unsuppressed
+    /// run — but any drop / duplicate / corrupt outcome past the cutoff is
+    /// overridden to Deliver (delays are left alone; they are timing, not
+    /// faults, and suppressing them would shift every later draw's wire
+    /// position). `Some(0)` suppresses everything, `None` disables
+    /// suppression. This prefix semantics is what the chaos bisect driver
+    /// binary-searches.
+    pub fn suppress_faults_from(&self, lan: LanId, cutoff: Option<u64>) {
+        self.inner.lans.lock()[lan.0].suppress_from = cutoff;
+    }
+
+    /// Captures every LAN's wire position, packet index, traffic counters,
+    /// and installed fault schedule. Pairs with [`xkernel::sim::Sim::snapshot`]
+    /// — take both at the same quiescent instant.
+    pub fn snapshot(&self) -> NetSnapshot {
+        let lans = self.inner.lans.lock();
+        NetSnapshot {
+            lans: lans
+                .iter()
+                .map(|l| LanSnap {
+                    wire_free: l.wire_free,
+                    packet_index: l.packet_index,
+                    stats: l.stats,
+                    faults: l.faults.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Restores state captured by [`SimNet::snapshot`]. Attachments are
+    /// wiring, not state, and are untouched; recording/suppression controls
+    /// are harness knobs and are also left alone.
+    pub fn restore(&self, snap: &NetSnapshot) {
+        let mut lans = self.inner.lans.lock();
+        assert_eq!(
+            lans.len(),
+            snap.lans.len(),
+            "snapshot restore onto a different network shape"
+        );
+        for (l, s) in lans.iter_mut().zip(&snap.lans) {
+            l.wire_free = s.wire_free;
+            l.packet_index = s.packet_index;
+            l.stats = s.stats;
+            l.faults = s.faults.clone();
+        }
     }
 
     /// A LAN's configuration.
@@ -241,7 +343,7 @@ impl SimNet {
         // actually inspect its bytes, and that buffer is reused below for
         // any mutation — every fault path copies the frame at most once.
         let mut frame_bytes: Option<Vec<u8>> = None;
-        let decision = if l.faults.is_none() {
+        let mut decision = if l.faults.is_none() {
             FaultDecision::Deliver
         } else {
             let sim = self.inner.sim.clone();
@@ -257,6 +359,68 @@ impl SimNet {
                 move || sim.next_u64(),
             )
         };
+
+        // Bisect instrumentation. Record the drawn fate first, then apply
+        // the suppression cutoff — the recorded timeline is what the
+        // schedule *wanted*, the journal (below) is what actually happened.
+        let suppressible = matches!(
+            decision,
+            FaultDecision::Drop
+                | FaultDecision::Duplicate
+                | FaultDecision::Corrupt
+                | FaultDecision::CorruptAt(_)
+        );
+        if suppressible {
+            if let Some(rec) = l.record.as_mut() {
+                rec.push(FaultEvent {
+                    at: now,
+                    index,
+                    decision,
+                });
+            }
+            if l.suppress_from.is_some_and(|cutoff| index >= cutoff) {
+                decision = FaultDecision::Deliver;
+            }
+        }
+        // Journal the realized (post-suppression) fault so a replayed run
+        // can be cross-checked against what this run actually injected.
+        match decision {
+            FaultDecision::Deliver => {}
+            FaultDecision::Drop => {
+                self.inner
+                    .sim
+                    .journal_fault(lan.0 as u32, index, xkernel::journal::FAULT_DROP, 0);
+            }
+            FaultDecision::Duplicate => {
+                self.inner.sim.journal_fault(
+                    lan.0 as u32,
+                    index,
+                    xkernel::journal::FAULT_DUPLICATE,
+                    0,
+                );
+            }
+            FaultDecision::Corrupt => {
+                self.inner.sim.journal_fault(
+                    lan.0 as u32,
+                    index,
+                    xkernel::journal::FAULT_CORRUPT,
+                    14,
+                );
+            }
+            FaultDecision::CorruptAt(at) => {
+                self.inner.sim.journal_fault(
+                    lan.0 as u32,
+                    index,
+                    xkernel::journal::FAULT_CORRUPT,
+                    at as u64,
+                );
+            }
+            FaultDecision::Delay(d) => {
+                self.inner
+                    .sim
+                    .journal_fault(lan.0 as u32, index, xkernel::journal::FAULT_DELAY, d);
+            }
+        }
 
         let (copies, extra_delay, corrupt_at) = match decision {
             FaultDecision::Drop => {

@@ -81,6 +81,10 @@ struct Out {
     reply: Option<Message>,
 }
 
+/// Default cap on consecutive exponential-backoff doublings; the
+/// `SetBackoff` control op overrides it until the next reboot.
+const DEFAULT_MAX_BACKOFF: u32 = 6;
+
 /// Run-time-tunable knobs (`SetTimeout` / `SetBackoff` control ops).
 struct Tunables {
     timeout_ns: AtomicU64,
@@ -115,7 +119,7 @@ impl RequestReply {
             tunables: Tunables {
                 timeout_ns: AtomicU64::new(cfg.timeout_ns),
                 adaptive: AtomicBool::new(cfg.adaptive),
-                max_backoff: AtomicU32::new(6),
+                max_backoff: AtomicU32::new(DEFAULT_MAX_BACKOFF),
             },
             cfg,
             lower_name: OnceLock::new(),
@@ -145,6 +149,18 @@ impl RequestReply {
     /// Switches between the adaptive RTO and the fixed timeout at run time.
     pub fn set_adaptive(&self, on: bool) {
         self.tunables.adaptive.store(on, Ordering::Relaxed);
+    }
+
+    /// Current backoff-doubling cap, as `SetBackoff` last left it (resets
+    /// to the default on reboot).
+    pub fn max_backoff(&self) -> u32 {
+        self.tunables.max_backoff.load(Ordering::Relaxed)
+    }
+
+    /// Whether the adaptive RTO is currently in effect (resets to the
+    /// configured value on reboot).
+    pub fn adaptive(&self) -> bool {
+        self.tunables.adaptive.load(Ordering::Relaxed)
     }
 
     /// Smoothed round-trip estimate (virtual ns; 0 until the first reply).
@@ -378,6 +394,15 @@ impl Protocol for RequestReply {
         self.tunables
             .timeout_ns
             .store(self.cfg.timeout_ns, Ordering::Relaxed);
+        // Every RTO knob re-cold-seeds, including the run-time overrides
+        // (`SetBackoff` / `set_adaptive`): a fresh incarnation must not
+        // inherit policy its config never specified.
+        self.tunables
+            .max_backoff
+            .store(DEFAULT_MAX_BACKOFF, Ordering::Relaxed);
+        self.tunables
+            .adaptive
+            .store(self.cfg.adaptive, Ordering::Relaxed);
         self.estimator.lock().reset(self.cfg.timeout_ns);
         Ok(())
     }
@@ -488,11 +513,70 @@ impl Protocol for RequestReply {
                     .control(ctx, self.lower, &ControlOp::GetMaxPacket)?;
                 Ok(ControlRes::Size(r.size()?.saturating_sub(RR_HDR_LEN)))
             }
+            // The RTO knobs are protocol-wide (sessions store into the same
+            // tunables), so policy sweeps can set them without a session.
+            ControlOp::SetTimeout(ns) => {
+                self.tunables.timeout_ns.store(*ns, Ordering::Relaxed);
+                Ok(ControlRes::Done)
+            }
+            ControlOp::SetBackoff(n) => {
+                self.tunables.max_backoff.store(*n, Ordering::Relaxed);
+                Ok(ControlRes::Done)
+            }
             _ => Err(XError::Unsupported("request_reply control")),
         }
+    }
+
+    fn snap(&self, _ctx: &Ctx) -> Option<SnapBlob> {
+        debug_assert!(
+            self.outstanding.lock().is_empty(),
+            "request_reply snapshot with an outstanding transaction (not quiescent)"
+        );
+        Some(Arc::new(RrSnap {
+            next_xid: *self.next_xid.lock(),
+            estimator: self.estimator.lock().clone(),
+            timeout_ns: self.tunables.timeout_ns.load(Ordering::Relaxed),
+            adaptive: self.tunables.adaptive.load(Ordering::Relaxed),
+            max_backoff: self.tunables.max_backoff.load(Ordering::Relaxed),
+            enables: self.enables.lock().clone(),
+            sessions: self.sessions.lock().clone(),
+            lowers: self.lowers.lock().clone(),
+            shepherds: self.shepherds.stats(),
+        }))
+    }
+
+    fn restore_snap(&self, _ctx: &Ctx, blob: &SnapBlob) -> XResult<()> {
+        let s = snap_downcast::<RrSnap>(blob, "request_reply")?;
+        *self.next_xid.lock() = s.next_xid;
+        *self.estimator.lock() = s.estimator.clone();
+        self.tunables
+            .timeout_ns
+            .store(s.timeout_ns, Ordering::Relaxed);
+        self.tunables.adaptive.store(s.adaptive, Ordering::Relaxed);
+        self.tunables
+            .max_backoff
+            .store(s.max_backoff, Ordering::Relaxed);
+        self.outstanding.lock().clear();
+        *self.enables.lock() = s.enables.clone();
+        *self.sessions.lock() = s.sessions.clone();
+        *self.lowers.lock() = s.lowers.clone();
+        self.shepherds.restore_stats(s.shepherds);
+        Ok(())
     }
 
     fn as_any(&self) -> &dyn Any {
         self
     }
+}
+
+struct RrSnap {
+    next_xid: u32,
+    estimator: RtoEstimator,
+    timeout_ns: u64,
+    adaptive: bool,
+    max_backoff: u32,
+    enables: HashMap<u32, ProtoId>,
+    sessions: HashMap<(u32, u32), SessionRef>,
+    lowers: HashMap<u32, SessionRef>,
+    shepherds: ShepherdStats,
 }

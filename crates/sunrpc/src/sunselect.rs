@@ -267,9 +267,27 @@ impl Protocol for SunSelect {
         }
     }
 
+    // Handlers are config, not state; only the lower-session cache matters
+    // for replay (a warm cache skips SessionCreate charges below).
+    fn snap(&self, _ctx: &Ctx) -> Option<SnapBlob> {
+        Some(Arc::new(SunSelectSnap {
+            lowers: self.lowers.lock().clone(),
+        }))
+    }
+
+    fn restore_snap(&self, _ctx: &Ctx, blob: &SnapBlob) -> XResult<()> {
+        let s = snap_downcast::<SunSelectSnap>(blob, "sunselect")?;
+        *self.lowers.lock() = s.lowers.clone();
+        Ok(())
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
+}
+
+struct SunSelectSnap {
+    lowers: HashMap<u32, SessionRef>,
 }
 
 #[cfg(test)]

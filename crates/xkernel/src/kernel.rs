@@ -148,6 +148,13 @@ impl Kernel {
         Ok(())
     }
 
+    /// Every protocol slot in id order (with holes where ids were reserved
+    /// but never installed). The snapshot machinery aligns per-protocol
+    /// state blobs to these slots; see [`crate::sim::Sim::snapshot`].
+    pub fn protocol_slots(&self) -> Vec<Option<ProtocolRef>> {
+        self.protocols.read().clone()
+    }
+
     /// Names of all configured protocols, in configuration order.
     pub fn protocol_names(&self) -> Vec<String> {
         let names = self.by_name.read();
@@ -232,8 +239,8 @@ pub mod prelude {
     pub use crate::kernel::Kernel;
     pub use crate::msg::Message;
     pub use crate::proto::{
-        ControlOp, ControlRes, ProtoId, Protocol, ProtocolRef, Session, SessionRef, TracedProtocol,
-        TracedSession,
+        snap_downcast, ControlOp, ControlRes, ProtoId, Protocol, ProtocolRef, Session, SessionRef,
+        SnapBlob, TracedProtocol, TracedSession,
     };
     pub use crate::sim::{Ctx, HostId, HostStats, Mode, RobustEvent, SharedSema, Sim, TimerHandle};
     pub use crate::trace::{CostBreakdown, CostEntry, Event, EventKind, FoldedLine, OpClass};

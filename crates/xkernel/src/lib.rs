@@ -46,6 +46,7 @@ pub mod check;
 pub mod cost;
 pub mod error;
 pub mod graph;
+pub mod journal;
 pub mod kernel;
 pub mod lint;
 pub mod msg;

@@ -38,6 +38,20 @@ pub type SessionRef = Arc<dyn Session>;
 /// Shared handle to a protocol object.
 pub type ProtocolRef = Arc<dyn Protocol>;
 
+/// Opaque, protocol-private snapshot state: what [`Protocol::snap`]
+/// captures and [`Protocol::restore_snap`] consumes. Each protocol
+/// downcasts to its own concrete type; the snapshot machinery only
+/// transports the blobs.
+pub type SnapBlob = Arc<dyn Any + Send + Sync>;
+
+/// Downcasts a snapshot blob to the concrete type `T` the protocol stored,
+/// failing with a labeled error when handed some other protocol's blob
+/// (slot misalignment: restoring onto a differently configured graph).
+pub fn snap_downcast<'a, T: 'static>(blob: &'a SnapBlob, who: &'static str) -> XResult<&'a T> {
+    blob.downcast_ref::<T>()
+        .ok_or_else(|| XError::Config(format!("{who}: snapshot blob type mismatch")))
+}
+
 /// The out-of-band query/command set supported by `control`.
 ///
 /// Mirrors the x-kernel opcodes the paper's protocols rely on. `Custom`
@@ -223,6 +237,26 @@ pub trait Protocol: Send + Sync {
     /// bottom-up like [`Protocol::boot`]. Must not block. The default — do
     /// nothing — suits stateless protocols.
     fn reboot(&self, _ctx: &Ctx) -> XResult<()> {
+        Ok(())
+    }
+
+    /// Captures this protocol's mutable state for a whole-sim snapshot
+    /// (see [`crate::sim::Sim::snapshot`]). Called only at a quiescent
+    /// instant — no shepherd process exists, no timer is armed — so
+    /// timer-reclaimed state (partial reassemblies, in-flight exchanges)
+    /// is empty by construction and a protocol captures exactly its
+    /// durable maps, counters, and estimator state. Must not block,
+    /// charge, or schedule. The default `None` suits protocols whose only
+    /// state is build-time configuration.
+    fn snap(&self, _ctx: &Ctx) -> Option<SnapBlob> {
+        None
+    }
+
+    /// Restores state captured by [`Protocol::snap`] on the *same*
+    /// protocol instance (snapshot/restore rewinds a rig in place; it does
+    /// not rebuild one). Same quiescence requirement; must not block,
+    /// charge, or schedule. Errors if the blob is not this protocol's.
+    fn restore_snap(&self, _ctx: &Ctx, _blob: &SnapBlob) -> XResult<()> {
         Ok(())
     }
 

@@ -157,6 +157,28 @@ impl Shepherds {
         }
     }
 
+    /// Overwrites the counters with `s` — whole-sim snapshot restore
+    /// (capture is [`Shepherds::stats`]). Legal only at a quiescent
+    /// instant, when no worker is active and the queue is empty; stray
+    /// queued jobs are dropped.
+    pub fn restore_stats(&self, s: ShepherdStats) {
+        {
+            let mut st = self.st.lock();
+            debug_assert!(
+                st.active == 0 && st.queue.is_empty(),
+                "shepherd pool snapshot restore mid-burst (not quiescent)"
+            );
+            st.active = 0;
+            st.queue.clear();
+        }
+        self.submitted.store(s.submitted, Ordering::Relaxed);
+        self.executed.store(s.executed, Ordering::Relaxed);
+        self.dropped.store(s.dropped, Ordering::Relaxed);
+        self.rejected.store(s.rejected, Ordering::Relaxed);
+        self.peak_queue.store(s.peak_queue, Ordering::Relaxed);
+        self.peak_workers.store(s.peak_workers, Ordering::Relaxed);
+    }
+
     /// Offers `job` to the pool. Synchronous configurations (and inline
     /// mode, which has no scheduler) run it immediately; otherwise it is
     /// dispatched to a worker, queued, or refused per the overload policy.

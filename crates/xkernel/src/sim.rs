@@ -23,7 +23,7 @@
 
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -32,10 +32,11 @@ pub use crate::cost::Nanos;
 
 use crate::check::{CheckCore, CheckReport, Violation};
 use crate::cost::CostModel;
-use crate::error::XResult;
+use crate::error::{XError, XResult};
+use crate::journal::{Journal, JournalRecord, JOURNAL_VERSION};
 use crate::kernel::Kernel;
 use crate::msg::{HeaderPolicy, Message, Popped};
-use crate::proto::ProtoId;
+use crate::proto::{ProtoId, SnapBlob};
 use crate::trace::{
     CostBreakdown, CostEntry, Event, EventKind, FoldedLine, OpClass, SpanKey, TraceCore,
     DEFAULT_RING_CAP, EMPTY_STACK,
@@ -329,6 +330,13 @@ pub struct SimCore {
     check_on: bool,
     /// Concurrency-checker state; a leaf lock like `trace`.
     check: Mutex<CheckCore>,
+    /// Whether journal recording is on. Toggleable at run time (unlike
+    /// `trace_on`/`check_on`) so recording can be scoped to a window; a
+    /// relaxed load guards every journal touch, so recording costs nothing
+    /// when off.
+    journal_on: AtomicBool,
+    /// Recorded nondeterminism-relevant decisions; a leaf lock like `trace`.
+    journal: Mutex<Vec<JournalRecord>>,
     /// The configured seed, kept for repro strings.
     seed: u64,
 }
@@ -374,6 +382,8 @@ impl Sim {
                 trace: Mutex::new(TraceCore::new(DEFAULT_RING_CAP)),
                 check_on: cfg.check,
                 check: Mutex::new(CheckCore::default()),
+                journal_on: AtomicBool::new(false),
+                journal: Mutex::new(Vec::new()),
                 seed: cfg.seed,
             }),
         }
@@ -667,6 +677,221 @@ impl Sim {
     pub fn repro(&self, v: &Violation) -> String {
         v.repro(self.core.seed, self.sched_hash())
     }
+
+    /// Starts journal recording (see [`crate::journal`]), discarding any
+    /// previously recorded decisions. Costs one relaxed atomic load per
+    /// potential decision when off.
+    pub fn journal_enable(&self) {
+        self.core.journal.lock().clear();
+        self.core.journal_on.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether journal recording is currently on.
+    pub fn journal_enabled(&self) -> bool {
+        self.core.journal_on.load(Ordering::Relaxed)
+    }
+
+    /// Stops recording and returns the journal, stamped with this
+    /// simulation's seed and the schedule fingerprint accumulated so far —
+    /// the cross-check a replay must reproduce.
+    pub fn journal_take(&self) -> Journal {
+        self.core.journal_on.store(false, Ordering::Relaxed);
+        let records = std::mem::take(&mut *self.core.journal.lock());
+        Journal {
+            version: JOURNAL_VERSION,
+            seed: self.core.seed,
+            sched_hash: self.sched_hash(),
+            records,
+        }
+    }
+
+    /// Records a realized network fault (called by simnet's transmit path
+    /// after the fault schedule decides a packet's fate). No-op unless
+    /// journaling is on. `kind` is one of the `crate::journal::FAULT_*`
+    /// tags; `aux` carries the kind-specific detail.
+    pub fn journal_fault(&self, lan: u32, index: u64, kind: u8, aux: u64) {
+        if !self.core.journal_on.load(Ordering::Relaxed) {
+            return;
+        }
+        self.core.journal.lock().push(JournalRecord::Fault {
+            lan,
+            index,
+            kind,
+            aux,
+        });
+    }
+
+    /// Captures the complete mutable state of a *quiescent* simulation: the
+    /// scheduler scalars (virtual clock, event/process id counters, the
+    /// `sched_hash` fingerprint), the PRNG position, per-host clocks,
+    /// crash/boot state and robustness counters, and every protocol's
+    /// private state via [`crate::proto::Protocol::snap`]. Quiescent means
+    /// [`Sim::run_until_idle`] has drained — no pending events, no live
+    /// processes — which is when no shepherd is parked mid-protocol and
+    /// per-protocol state is self-contained.
+    ///
+    /// [`Sim::restore`] rewinds the *same* simulator (same kernels, same
+    /// protocol graph) to this state; a restored run is bit-identical to
+    /// one that never snapshotted. Deliberately not captured: trace rings,
+    /// the cost ledger, and checker state — observability, not behavior.
+    pub fn snapshot(&self) -> XResult<SimSnapshot> {
+        if self.core.mode != Mode::Scheduled {
+            return Err(XError::Unsupported("snapshot in inline mode"));
+        }
+        let (now, seq, next_lp, executed, sched_hash) = {
+            let g = self.core.sched.lock();
+            self.require_quiescent(&g)?;
+            (g.now, g.seq, g.next_lp, g.executed, g.sched_hash)
+        };
+        let (cpu, down, epoch, stats) = {
+            let h = self.core.hosts.lock();
+            (
+                h.cpu.clone(),
+                h.down.clone(),
+                h.epoch.clone(),
+                h.stats.clone(),
+            )
+        };
+        let rng = *self.core.rng.lock();
+        let journal_len = self.core.journal.lock().len();
+        let kernels = self.core.kernels.read().clone();
+        let mut protos = Vec::with_capacity(kernels.len());
+        for k in &kernels {
+            let ctx = self.ctx(k.host());
+            let blobs: Vec<Option<SnapBlob>> = k
+                .protocol_slots()
+                .iter()
+                .map(|slot| slot.as_ref().and_then(|p| p.snap(&ctx)))
+                .collect();
+            protos.push(blobs);
+        }
+        Ok(SimSnapshot {
+            now,
+            seq,
+            next_lp,
+            executed,
+            sched_hash,
+            rng,
+            journal_len,
+            cpu,
+            down,
+            epoch,
+            stats,
+            protos,
+        })
+    }
+
+    /// Rewinds this simulator to `snap` (which [`Sim::snapshot`] captured
+    /// from the *same* simulator). Requires quiescence, exactly like
+    /// snapshotting. Scheduler scalars, PRNG, host clocks, and every
+    /// protocol's private state are overwritten in place; the journal is
+    /// truncated to its capture-time length so a resumed recording matches
+    /// an uninterrupted one.
+    pub fn restore(&self, snap: &SimSnapshot) -> XResult<()> {
+        if self.core.mode != Mode::Scheduled {
+            return Err(XError::Unsupported("restore in inline mode"));
+        }
+        {
+            let mut g = self.core.sched.lock();
+            self.require_quiescent(&g)?;
+            g.now = snap.now;
+            g.seq = snap.seq;
+            g.next_lp = snap.next_lp;
+            g.executed = snap.executed;
+            g.sched_hash = snap.sched_hash;
+            // The heap may hold entries for cancelled or already-drained
+            // events; with `seq` rewound they would alias freshly allocated
+            // sequence numbers, so they must go.
+            g.heap.clear();
+            g.panics.clear();
+        }
+        {
+            let mut h = self.core.hosts.lock();
+            if h.cpu.len() != snap.cpu.len() {
+                return Err(XError::Config(format!(
+                    "snapshot holds {} hosts but the simulator has {}",
+                    snap.cpu.len(),
+                    h.cpu.len()
+                )));
+            }
+            h.cpu.clone_from(&snap.cpu);
+            h.down.clone_from(&snap.down);
+            h.epoch.clone_from(&snap.epoch);
+            h.stats.clone_from(&snap.stats);
+        }
+        *self.core.rng.lock() = snap.rng;
+        self.core.journal.lock().truncate(snap.journal_len);
+        let kernels = self.core.kernels.read().clone();
+        if kernels.len() != snap.protos.len() {
+            return Err(XError::Config(
+                "snapshot is from a different rig (kernel count mismatch)".into(),
+            ));
+        }
+        for (k, blobs) in kernels.iter().zip(&snap.protos) {
+            let ctx = self.ctx(k.host());
+            let slots = k.protocol_slots();
+            if slots.len() != blobs.len() {
+                return Err(XError::Config(format!(
+                    "snapshot is from a different rig ({} protocol slots vs {} on {})",
+                    blobs.len(),
+                    slots.len(),
+                    k.name()
+                )));
+            }
+            for (slot, blob) in slots.iter().zip(blobs) {
+                if let (Some(p), Some(b)) = (slot, blob) {
+                    p.restore_snap(&ctx, b)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Errors unless the scheduler is drained: snapshot/restore are only
+    /// meaningful when no event is pending and no shepherd process exists.
+    fn require_quiescent(&self, g: &Sched) -> XResult<()> {
+        if g.events.is_empty() && g.current.is_none() && g.lps.is_empty() {
+            Ok(())
+        } else {
+            Err(XError::Config(format!(
+                "snapshot/restore require a quiescent simulator \
+                 ({} pending event(s), {} live process(es)); \
+                 run_until_idle first",
+                g.events.len(),
+                g.lps.len()
+            )))
+        }
+    }
+}
+
+/// An opaque whole-sim snapshot; see [`Sim::snapshot`]. Holds the scheduler
+/// scalars, PRNG position, per-host state, and one
+/// [`crate::proto::SnapBlob`] per protocol slot per host.
+pub struct SimSnapshot {
+    now: Time,
+    seq: u64,
+    next_lp: u64,
+    executed: u64,
+    sched_hash: u64,
+    rng: u64,
+    journal_len: usize,
+    cpu: Vec<Time>,
+    down: Vec<bool>,
+    epoch: Vec<u32>,
+    stats: Vec<HostStats>,
+    protos: Vec<Vec<Option<SnapBlob>>>,
+}
+
+impl SimSnapshot {
+    /// The schedule fingerprint at capture time.
+    pub fn sched_hash(&self) -> u64 {
+        self.sched_hash
+    }
+
+    /// Global virtual time at capture.
+    pub fn now(&self) -> Time {
+        self.now
+    }
 }
 
 /// Builds the sorted per-layer breakdown from the trace ledger, resolving
@@ -789,11 +1014,19 @@ fn advance(core: &Arc<SimCore>, g: &mut parking_lot::MutexGuard<'_, Sched>) -> N
                     }
                     let pick = if ties.len() > 1 {
                         let n = ties.len();
-                        g.chooser
+                        let pick = g
+                            .chooser
                             .as_mut()
                             .expect("chooser checked present")
                             .choose(n)
-                            .min(n - 1)
+                            .min(n - 1);
+                        if core.journal_on.load(Ordering::Relaxed) {
+                            core.journal.lock().push(JournalRecord::TiePick {
+                                n: n as u32,
+                                pick: pick as u32,
+                            });
+                        }
+                        pick
                     } else {
                         0
                     };
@@ -865,6 +1098,13 @@ fn advance(core: &Arc<SimCore>, g: &mut parking_lot::MutexGuard<'_, Sched>) -> N
                     h.down[host.0] = true;
                     h.stats[host.0].crashes += 1;
                 }
+                if core.journal_on.load(Ordering::Relaxed) {
+                    core.journal.lock().push(JournalRecord::Boot {
+                        host: host.0 as u32,
+                        kind: 0,
+                        t,
+                    });
+                }
                 // In-flight deliveries, timers, and spawned runs on the
                 // host die with it, as do pending wakes for its
                 // processes. Crash/Restart events survive — a scheduled
@@ -920,6 +1160,13 @@ fn advance(core: &Arc<SimCore>, g: &mut parking_lot::MutexGuard<'_, Sched>) -> N
                     *cpu = (*cpu).max(t);
                     (idle, *cpu)
                 };
+                if core.journal_on.load(Ordering::Relaxed) {
+                    core.journal.lock().push(JournalRecord::Boot {
+                        host: host.0 as u32,
+                        kind: 1,
+                        t,
+                    });
+                }
                 if core.trace_on && jumped.0 > 0 {
                     core.trace.lock().attribute_stack(
                         host.0,
@@ -1610,6 +1857,27 @@ impl Sema {
         self.st.lock().count
     }
 
+    /// Captures `(count, next_seq)` for a whole-sim snapshot. Legal only at
+    /// a quiescent instant — no process can be parked on the semaphore
+    /// then, so losing the (empty) waiter queue is sound.
+    pub fn snap_state(&self) -> (i64, u64) {
+        let st = self.st.lock();
+        debug_assert!(
+            st.waiters.is_empty(),
+            "sema snapshot with waiters parked (not quiescent)"
+        );
+        (st.count, st.next_seq)
+    }
+
+    /// Restores state captured by [`Sema::snap_state`]. Same quiescence
+    /// requirement; any stray waiters are dropped.
+    pub fn restore_state(&self, (count, next_seq): (i64, u64)) {
+        let mut st = self.st.lock();
+        st.waiters.clear();
+        st.count = count;
+        st.next_seq = next_seq;
+    }
+
     /// P: acquire one unit, blocking until available.
     pub fn p(&self, ctx: &Ctx) {
         ctx.charge_class(OpClass::Sema, ctx.cost().sema_op);
@@ -1710,6 +1978,16 @@ impl SharedSema {
     /// Current count.
     pub fn count(&self) -> i64 {
         self.0.count()
+    }
+
+    /// Captures `(count, next_seq)`; see [`Sema::snap_state`].
+    pub fn snap_state(&self) -> (i64, u64) {
+        self.0.snap_state()
+    }
+
+    /// Restores captured state; see [`Sema::restore_state`].
+    pub fn restore_state(&self, state: (i64, u64)) {
+        self.0.restore_state(state)
     }
 
     /// P: acquire, blocking.

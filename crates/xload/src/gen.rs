@@ -105,6 +105,18 @@ impl LoadSpec {
     /// Panics if the testbed fails to build or any process is left blocked
     /// at the end of the run — both are harness bugs, not load outcomes.
     pub fn run(&self) -> LoadReport {
+        let rig = self.build_warm();
+        self.measure(&rig)
+    }
+
+    /// Builds the rig, registers the echo server, and warms every client —
+    /// exactly the state a fork sweep ([`crate::fork`]) snapshots. The rig
+    /// is quiescent on return, so [`xkernel::sim::Sim::snapshot`] is legal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the testbed fails to build or warm-up fails.
+    pub fn build_warm(&self) -> LoadRig {
         let rig = build_rig(
             self.topo,
             self.stack,
@@ -115,10 +127,21 @@ impl LoadSpec {
         .expect("load testbed builds");
         serve_echo(&self.stack, &rig.server);
         warm(&rig, &self.stack);
+        rig
+    }
 
+    /// Runs the measured window on an already-warmed rig and collects the
+    /// report. Separate from [`LoadSpec::run`] so a fork sweep can measure
+    /// the same warmed state repeatedly under different policies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any process is left blocked at the end of the run — a
+    /// harness bug, not a load outcome.
+    pub fn measure(&self, rig: &LoadRig) -> LoadReport {
         let shards = match self.gen {
-            GenMode::Closed { clients, think_ns } => self.spawn_closed(&rig, clients, think_ns),
-            GenMode::Open { rate_cps } => self.spawn_open(&rig, rate_cps),
+            GenMode::Closed { clients, think_ns } => self.spawn_closed(rig, clients, think_ns),
+            GenMode::Open { rate_cps } => self.spawn_open(rig, rate_cps),
         };
         let run = rig.sim.run_until_idle();
         assert_eq!(

@@ -20,6 +20,10 @@
 //!   goodput, offered load, failure and shepherd overload counters — all
 //!   integers, so a [`gen::LoadReport`] derives `Eq` and determinism is a
 //!   single assert.
+//! * **Fork sweeps** ([`fork`]): warm the rig once, snapshot the quiescent
+//!   state, and branch `SetTimeout`/`SetBackoff` policy points from the
+//!   saved snapshot — every branch starts bit-identical, so report
+//!   differences are attributable to policy alone.
 //!
 //! ```no_run
 //! use xload::{GenMode, LoadSpec, LoadStack, Topology};
@@ -43,10 +47,12 @@
 
 #![warn(missing_docs)]
 
+pub mod fork;
 pub mod gen;
 pub mod hist;
 pub mod topo;
 
+pub use fork::{fork_sweep, ForkReport, PolicyPoint};
 pub use gen::{poisson_offsets, GenMode, LoadReport, LoadSpec};
 pub use hist::{Hist, LatencySummary};
 pub use topo::{build_rig, with_params, LoadRig, LoadStack, Topology};

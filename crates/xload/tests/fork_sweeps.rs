@@ -1,0 +1,105 @@
+//! Fork-from-snapshot policy sweeps: every branch starts from the
+//! bit-identical warmed state, so identical policy points produce
+//! `Eq`-equal reports, a branch equals a from-scratch run under the same
+//! policy, and report differences are attributable to policy alone.
+
+use xload::{fork_sweep, GenMode, LoadSpec, LoadStack, PolicyPoint, Topology};
+
+fn overloaded_sunrpc(seed: u64) -> LoadSpec {
+    // A deliberately tiny drop-policy pool under open-loop pressure: the
+    // server sheds requests, clients retransmit, and the RTO knobs become
+    // observable in completion counts and the latency tail.
+    LoadSpec {
+        stack: LoadStack::SunRpcUdp,
+        topo: Topology::Segment { hosts: 2 },
+        gen: GenMode::Open { rate_cps: 2_000 },
+        duration_ns: 200_000_000,
+        payload: 64,
+        seed,
+        shepherds: 1,
+        pending: 1,
+        reject: false,
+        trace: false,
+    }
+}
+
+#[test]
+fn identical_policy_points_fork_to_identical_reports() {
+    let spec = overloaded_sunrpc(11);
+    let quick = PolicyPoint {
+        timeout_ns: Some(10_000_000),
+        backoff: Some(2),
+    };
+    let out = fork_sweep(&spec, &[quick, PolicyPoint::baseline(), quick]);
+    assert!(out.warmed_at > 0, "warm-up consumed virtual time");
+    assert_eq!(out.branches.len(), 3);
+    assert_eq!(
+        out.branches[0].report, out.branches[2].report,
+        "same policy from the same snapshot is bit-identical"
+    );
+    assert_eq!(out.branches[0].policy, "t=10000000/b=2");
+    assert_eq!(out.branches[1].policy, "baseline");
+}
+
+#[test]
+fn forked_branch_equals_a_from_scratch_run() {
+    // Forking is an optimization, not a different experiment: restoring the
+    // warmed snapshot and measuring must equal building a fresh rig and
+    // measuring (the snapshot bit-identity guarantee, applied to load).
+    let spec = overloaded_sunrpc(7);
+    let out = fork_sweep(&spec, &[PolicyPoint::baseline()]);
+    let fresh = spec.run();
+    assert_eq!(out.branches[0].report, fresh);
+}
+
+#[test]
+fn rto_policy_is_observable_under_overload() {
+    // Under a shedding server, a 10 ms no-backoff retry recovers dropped
+    // calls the 150 ms default cannot fit into the window: the policy must
+    // move completions or the latency distribution.
+    let spec = overloaded_sunrpc(3);
+    let out = fork_sweep(
+        &spec,
+        &[
+            PolicyPoint::baseline(),
+            PolicyPoint {
+                timeout_ns: Some(10_000_000),
+                backoff: Some(0),
+            },
+        ],
+    );
+    let (base, quick) = (&out.branches[0].report, &out.branches[1].report);
+    assert_eq!(base.attempted, quick.attempted, "same open-loop schedule");
+    assert!(
+        base.completed != quick.completed || base.latency != quick.latency,
+        "RTO policy changed nothing observable: {base:?} vs {quick:?}"
+    );
+}
+
+#[test]
+fn channel_stacks_fork_and_branch_policy() {
+    // The select/CHANNEL stacks own the same knobs; a closed-loop sweep on
+    // the quiet wire must still fork deterministically.
+    let spec = LoadSpec {
+        stack: LoadStack::Paper(xrpc::stacks::L_RPC_VIP),
+        topo: Topology::Segment { hosts: 2 },
+        gen: GenMode::Closed {
+            clients: 4,
+            think_ns: 1_000_000,
+        },
+        duration_ns: 100_000_000,
+        payload: 64,
+        seed: 5,
+        shepherds: 0,
+        pending: 0,
+        reject: false,
+        trace: false,
+    };
+    let slow = PolicyPoint {
+        timeout_ns: Some(400_000_000),
+        backoff: None,
+    };
+    let out = fork_sweep(&spec, &[slow, slow]);
+    assert_eq!(out.branches[0].report, out.branches[1].report);
+    assert!(out.branches[0].report.completed > 0);
+}

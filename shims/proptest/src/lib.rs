@@ -166,6 +166,23 @@ pub mod strategy {
         Some((alphabet, lo, hi))
     }
 
+    macro_rules! tuple_strategy {
+        ($($s:ident : $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.gen_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(S0: 0, S1: 1);
+    tuple_strategy!(S0: 0, S1: 1, S2: 2);
+    tuple_strategy!(S0: 0, S1: 1, S2: 2, S3: 3);
+    tuple_strategy!(S0: 0, S1: 1, S2: 2, S3: 3, S4: 4);
+
     /// Strategy produced by [`crate::arbitrary::any`].
     pub struct Any<T> {
         _marker: core::marker::PhantomData<fn() -> T>,

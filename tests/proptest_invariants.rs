@@ -214,6 +214,82 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Scheduler journal: wire round-trip and total decoding.
+// ---------------------------------------------------------------------------
+
+fn journal_record() -> impl Strategy<Value = xkernel::journal::JournalRecord> {
+    use xkernel::journal::JournalRecord;
+    prop_oneof![
+        (any::<u32>(), any::<u32>()).prop_map(|(n, pick)| JournalRecord::TiePick { n, pick }),
+        (any::<u32>(), any::<u64>(), 1u8..5, any::<u64>()).prop_map(|(lan, index, kind, aux)| {
+            JournalRecord::Fault {
+                lan,
+                index,
+                kind,
+                aux,
+            }
+        }),
+        (any::<u32>(), 0u8..2, any::<u64>()).prop_map(|(host, kind, t)| JournalRecord::Boot {
+            host,
+            kind,
+            t
+        }),
+    ]
+}
+
+fn journal() -> impl Strategy<Value = xkernel::journal::Journal> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec(journal_record(), 0..64),
+    )
+        .prop_map(|(seed, sched_hash, records)| xkernel::journal::Journal {
+            version: xkernel::journal::JOURNAL_VERSION,
+            seed,
+            sched_hash,
+            records,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn journal_encoding_roundtrips(j in journal()) {
+        let bytes = j.encode();
+        prop_assert_eq!(xkernel::journal::Journal::decode(&bytes).unwrap(), j);
+    }
+
+    #[test]
+    fn truncated_journals_fail_cleanly(j in journal(), keep_per_mille in 0u32..1000) {
+        // Any strict prefix decodes to a clean Truncated error — no panic,
+        // no partial success.
+        let bytes = j.encode();
+        let cut = (bytes.len() as u64 * u64::from(keep_per_mille) / 1000) as usize;
+        prop_assert_eq!(
+            xkernel::journal::Journal::decode(&bytes[..cut]).unwrap_err(),
+            xkernel::journal::JournalError::Truncated
+        );
+    }
+
+    #[test]
+    fn corrupt_journals_never_panic(
+        j in journal(),
+        flips in proptest::collection::vec((any::<u64>(), any::<u8>()), 1..8),
+    ) {
+        // Decoding is total: arbitrary byte corruption yields Ok (when the
+        // flip lands in a value field) or a clean JournalError — never a
+        // panic, never an out-of-bounds read.
+        let mut bytes = j.encode();
+        for (pos, mask) in flips {
+            let at = (pos % bytes.len() as u64) as usize;
+            bytes[at] ^= mask;
+        }
+        let _ = xkernel::journal::Journal::decode(&bytes);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Whole-system properties (fewer cases; each builds a simulation).
 // ---------------------------------------------------------------------------
 
