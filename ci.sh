@@ -22,6 +22,40 @@ echo "==> chaos soak (fixed seed set x all stacks)"
 # invariant suite visibly gates every PR even if the test layout changes.
 cargo test -p chaos -q
 
+echo "==> vproc-gate: no OS threads in the per-process engine"
+# The vproc engine runs every shepherd process as an explicit continuation
+# (stackful coroutine or stackless machine) on the scheduler's own thread.
+# A thread::spawn creeping back into the engine would silently reintroduce
+# OS-scheduler nondeterminism, so its absence is a named gate.
+for f in crates/xkernel/src/sim.rs crates/xkernel/src/vproc.rs; do
+    if grep -q 'thread::spawn' "$f"; then
+        echo "ci: $f spawns an OS thread — the vproc engine must not" >&2
+        exit 1
+    fi
+done
+
+echo "==> vproc-smoke: 100k-client closed loop on stackless machines"
+# One persistent machine per client plus a transient coroutine per
+# in-flight call. The binary asserts every call completes, nothing is left
+# blocked, and peak_live >= clients (the engine's own proof the whole
+# population was concurrently resident); the grep re-checks required
+# fields from the outside. The full million-client run is the checked-in
+# BENCH_mclient.json.
+MCLIENT_SMOKE=$(mktemp /tmp/BENCH_mclient.XXXXXX.json)
+cargo run --release -q -p xbench --bin mclient -- --quick --out "$MCLIENT_SMOKE"
+for field in schema clients calls_per_client attempted completed failed \
+             peak_live events fuel_used wall_secs events_per_sec latency_ns; do
+    if ! grep -q "\"$field\"" "$MCLIENT_SMOKE"; then
+        echo "ci: BENCH_mclient.json missing field \"$field\"" >&2
+        exit 1
+    fi
+done
+grep -q '"failed": 0' "$MCLIENT_SMOKE" || {
+    echo "ci: mclient smoke had failed calls" >&2
+    exit 1
+}
+rm -f "$MCLIENT_SMOKE"
+
 echo "==> bench-smoke: xbench wallclock --quick"
 # Exercises the wall-clock harness end to end: inline calls/sec, scheduled
 # events/sec, and the parallel-vs-sequential soak (the binary itself asserts
@@ -43,6 +77,22 @@ grep -q '"reports_bit_identical": true' "$BENCH_SMOKE" || {
     echo "ci: parallel soak reports not bit-identical" >&2
     exit 1
 }
+# bench-gate: on a multi-core host the parallel soak must actually be
+# faster than the sequential one. Gated on the *detected* core count the
+# harness itself recorded (the old harness claimed cores: 1 inside
+# cgroup-pinned containers, which is exactly the bug detect_cores fixes),
+# so a single-core box skips the assertion instead of failing it.
+CORES=$(sed -n 's/^ *"cores": \([0-9]*\),$/\1/p' "$BENCH_SMOKE")
+SPEEDUP=$(sed -n 's/^ *"speedup": \([0-9.]*\),$/\1/p' "$BENCH_SMOKE")
+if [ "${CORES:-1}" -gt 1 ]; then
+    awk -v s="$SPEEDUP" 'BEGIN { exit !(s > 1.0) }' || {
+        echo "ci: bench-gate: $CORES cores but parallel speedup $SPEEDUP <= 1.0" >&2
+        exit 1
+    }
+    echo "    bench-gate: $CORES cores, speedup ${SPEEDUP}x"
+else
+    echo "    bench-gate: single core detected, speedup assertion skipped"
+fi
 rm -f "$BENCH_SMOKE"
 
 echo "==> load-smoke: xbench xload --quick"

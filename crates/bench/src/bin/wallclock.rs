@@ -155,7 +155,10 @@ fn validate(json: &str) -> Result<(), String> {
 
 fn main() {
     let opts = parse_opts();
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Honest core count: available_parallelism alone under-reports inside
+    // cgroup-pinned containers (see par::detect_cores), which used to make
+    // this harness claim cores: 1 / threads: 1 on multi-core hosts.
+    let cores = par::detect_cores();
     let (null_calls, sched_calls, soak_seeds, soak_calls) = if opts.quick {
         (200u32, 100u32, 1u64, 4u32)
     } else {

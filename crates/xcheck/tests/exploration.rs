@@ -23,6 +23,24 @@ fn handshake_explores_every_interleaving_and_all_pass() {
     let ex = explore(10_000, |ch| toys::run_handshake(SEED, Some(ch)));
     assert!(ex.complete, "schedule space must be fully enumerated");
     assert_eq!(ex.schedules(), 6, "3-way tie then 2-way tie = 6 schedules");
+    // The exact fingerprints, in DFS enumeration order. These are pinned:
+    // the engine's continuation representation (OS threads, coroutines,
+    // machines) must never leak into the schedule identity, so any engine
+    // rewrite has to reproduce these six values bit for bit.
+    let expected: [u64; 6] = [
+        0x8d5f_72d1_f9d0_4017,
+        0x2814_416b_65e6_afa2,
+        0x2bfb_03c6_c18e_0f94,
+        0xc683_8010_ac87_ae4c,
+        0x33a0_d12f_0e88_380a,
+        0xcd9d_eb53_ad42_1a4a,
+    ];
+    let got: Vec<u64> = ex.outcomes.iter().map(|o| o.sched_hash).collect();
+    assert_eq!(
+        got, expected,
+        "handshake schedule fingerprints moved — the engine changed the \
+         schedule identity"
+    );
     let mut hashes = HashSet::new();
     for out in &ex.outcomes {
         assert_eq!(out.blocked, 0, "no schedule may leave a process blocked");

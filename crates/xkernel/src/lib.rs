@@ -56,6 +56,8 @@ pub mod shepherd;
 pub mod shim;
 pub mod sim;
 pub mod trace;
+#[allow(unsafe_code)]
+pub mod vproc;
 pub mod wire;
 
 pub use kernel::prelude;

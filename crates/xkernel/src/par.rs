@@ -17,7 +17,22 @@ use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Default worker-thread bound: the machine's available parallelism,
+/// Honest physical core count. `available_parallelism` respects cgroup CPU
+/// quotas and affinity masks, which container CI frequently pins to 1 even
+/// on large hosts — so cross-check it against `/proc/cpuinfo` and take the
+/// larger answer. The wallclock benchmark records this so a "parallel"
+/// soak on a multi-core box is never silently run at `threads = 1`.
+pub fn detect_cores() -> usize {
+    let avail = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    let cpuinfo = std::fs::read_to_string("/proc/cpuinfo")
+        .map(|s| s.lines().filter(|l| l.starts_with("processor")).count())
+        .unwrap_or(0);
+    avail.max(cpuinfo).max(1)
+}
+
+/// Default worker-thread bound: the machine's detected core count,
 /// overridable with the `XK_THREADS` environment variable (useful for
 /// pinning CI or measuring scaling curves).
 pub fn default_threads() -> usize {
@@ -26,9 +41,7 @@ pub fn default_threads() -> usize {
             return n.max(1);
         }
     }
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    detect_cores()
 }
 
 /// Runs `f` over every item of `items` on at most `threads` OS threads and

@@ -6,12 +6,18 @@
 //! channel, a timer). We reproduce that model exactly, in two modes:
 //!
 //! * [`Mode::Scheduled`] — a discrete-event simulation. Shepherd processes
-//!   are OS threads, but exactly one runs at a time, coordinated by the
-//!   scheduler, so execution is fully deterministic (heap ties broken by
+//!   are *virtual processes* (see [`crate::vproc`]) multiplexed cooperatively
+//!   on the scheduler's own thread: stackful coroutines for thunk bodies,
+//!   stackless [`crate::vproc::VProc`] state machines for snapshot-capable
+//!   or massive populations. Exactly one runs at a time and blocking happens
+//!   only at the declared points (semaphore wait, timer expiry, wire
+//!   delivery), so execution is fully deterministic (heap ties broken by
 //!   insertion order). Virtual CPU time is charged per primitive operation
 //!   (see [`CostModel`]) onto a per-host CPU timeline; the network schedules
 //!   packet deliveries as timestamped events. This mode regenerates the
-//!   paper's millisecond-scale tables.
+//!   paper's millisecond-scale tables. An optional *fuel* budget
+//!   ([`SimConfig::with_fuel`]) kills a runaway process at a deterministic
+//!   instant of the schedule.
 //! * [`Mode::Inline`] — a synchronous zero-latency network: pushing a packet
 //!   invokes the destination kernel's demux on the *same* thread, so an
 //!   entire RPC round trip is one call chain with no blocking and no
@@ -26,9 +32,10 @@ use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex, RwLock};
+use parking_lot::{Mutex, RwLock};
 
 pub use crate::cost::Nanos;
+pub use crate::vproc::{VProc, VStep};
 
 use crate::check::{CheckCore, CheckReport, Violation};
 use crate::cost::CostModel;
@@ -41,6 +48,7 @@ use crate::trace::{
     CostBreakdown, CostEntry, Event, EventKind, FoldedLine, OpClass, SpanKey, TraceCore,
     DEFAULT_RING_CAP, EMPTY_STACK,
 };
+use crate::vproc;
 
 /// Virtual time, in nanoseconds since simulation start.
 pub type Time = u64;
@@ -98,6 +106,11 @@ pub struct SimConfig {
     /// tracking plus violation detection; see [`crate::check`]). Costs
     /// nothing when off, exactly like `trace`.
     pub check: bool,
+    /// Deterministic fuel budget per virtual process, or `None` for
+    /// unlimited. Coroutines pay one unit per charged operation; machines
+    /// pay one unit per resume. Exhaustion kills the process reproducibly
+    /// (counted in [`RunReport::fuel_exhausted`]).
+    pub fuel: Option<u64>,
 }
 
 impl SimConfig {
@@ -110,6 +123,7 @@ impl SimConfig {
             trace: false,
             policy: HeaderPolicy::default(),
             check: false,
+            fuel: None,
         }
     }
 
@@ -122,6 +136,7 @@ impl SimConfig {
             trace: false,
             policy: HeaderPolicy::default(),
             check: false,
+            fuel: None,
         }
     }
 
@@ -154,6 +169,12 @@ impl SimConfig {
         self.check = true;
         self
     }
+
+    /// Sets the per-process fuel budget (see [`SimConfig::fuel`]).
+    pub fn with_fuel(mut self, fuel: u64) -> SimConfig {
+        self.fuel = Some(fuel);
+        self
+    }
 }
 
 /// Outcome of [`Sim::run_until_idle`]. Derives `Eq` so chaos tests can
@@ -176,6 +197,16 @@ pub struct RunReport {
     /// the run's schedule fingerprint. Two runs with equal hashes executed
     /// the same interleaving; xcheck repro strings embed it.
     pub sched_hash: u64,
+    /// Total fuel charged across all hosts: one unit per charged operation
+    /// plus one per machine resume. A pure function of the schedule, so
+    /// replay-stable.
+    pub fuel_used: u64,
+    /// Processes killed by fuel exhaustion (always 0 without
+    /// [`SimConfig::with_fuel`]).
+    pub fuel_exhausted: u64,
+    /// High-water mark of simultaneously live processes — the number the
+    /// million-client experiments exist to push.
+    pub peak_live: usize,
 }
 
 /// Per-host robustness counters accumulated during a run. Protocols report
@@ -240,8 +271,22 @@ fn fnv_fold(h: u64, x: u64) -> u64 {
     (h ^ x).wrapping_mul(FNV_PRIME)
 }
 
+/// The body a fresh process starts from: a thunk (run as a stackful
+/// coroutine, so it may block anywhere) or a stackless [`VProc`] machine
+/// (runs on the scheduler's stack, blocks by returning [`VStep`]s).
+enum ProcBody {
+    Thunk(Thunk),
+    Machine(Box<dyn VProc>),
+}
+
+/// The suspended form of a blocked process.
+enum LpBody {
+    Coro(vproc::Coro),
+    Machine(Box<dyn VProc>),
+}
+
 enum EvKind {
-    Run { host: HostId, f: Thunk },
+    Run { host: HostId, body: ProcBody },
     Wake { lp: LpId, reason: WakeReason },
     Crash { host: HostId },
     Restart { host: HostId },
@@ -251,31 +296,40 @@ enum EvKind {
 enum RunState {
     Running,
     Blocked,
-    /// The host crashed while this process was blocked; its shepherd thread
-    /// unwinds via [`CrashKill`] the next time its condvar is signalled.
+    /// The host crashed while this process was blocked; the scheduler reaps
+    /// it (unwinding its coroutine via [`CrashKill`]) at the next
+    /// deterministic reap point.
     Killed,
 }
 
-/// Panic payload used to unwind a shepherd thread whose host crashed. Not a
-/// failure: [`worker_main`] filters it out of the panic record.
+/// Panic payload used to unwind a shepherd coroutine whose host crashed.
+/// Not a failure: the coroutine wrapper filters it out of the panic record.
 struct CrashKill;
+
+/// Panic payload used to unwind a shepherd coroutine whose fuel ran out.
+/// Filtered like [`CrashKill`], but tallied in [`RunReport::fuel_exhausted`].
+struct FuelKill;
 
 struct LpState {
     host: HostId,
     state: RunState,
-    cv: Arc<Condvar>,
     wake_reason: WakeReason,
+    /// The suspended continuation; `None` while the process is running (its
+    /// body is on the driver's stack) or before its first step.
+    body: Option<LpBody>,
+    /// The checker id of the semaphore a blocked *machine* is waiting on
+    /// (`None` for timer blocks and for coroutines, which run their own
+    /// wait-end hooks).
+    wait_sema: Option<u64>,
+    /// Remaining machine fuel (`u64::MAX` = unlimited); coroutines carry
+    /// their budget inside the coroutine instead.
+    fuel: u64,
 }
 
 struct Task {
     lp: LpId,
     host: HostId,
-    f: Thunk,
-}
-
-struct WorkerSlot {
-    m: Mutex<Option<Task>>,
-    cv: Condvar,
+    body: ProcBody,
 }
 
 struct Sched {
@@ -286,9 +340,15 @@ struct Sched {
     lps: HashMap<u64, LpState>,
     next_lp: u64,
     current: Option<LpId>,
-    idle_workers: Vec<Arc<WorkerSlot>>,
     executed: u64,
     panics: Vec<String>,
+    /// Processes killed by a crash while blocked, queued for deterministic
+    /// reaping (sorted by id) at the top of the run loop.
+    reap: Vec<u64>,
+    /// Processes killed by fuel exhaustion.
+    fuel_exhausted: u64,
+    /// High-water mark of `lps.len()`.
+    peak_live: usize,
     /// Schedule-exploration oracle; `None` (the default) keeps the plain
     /// deterministic insertion-order tie-break.
     chooser: Option<Box<dyn ScheduleChooser>>,
@@ -307,6 +367,9 @@ struct Hosts {
     down: Vec<bool>,
     epoch: Vec<u32>,
     stats: Vec<HostStats>,
+    /// Fuel charged per host: one unit per charged operation plus one per
+    /// machine resume ([`RunReport::fuel_used`] is the sum).
+    fuel: Vec<u64>,
 }
 
 /// Shared simulator state.
@@ -315,7 +378,10 @@ pub struct SimCore {
     cost: CostModel,
     policy: HeaderPolicy,
     sched: Mutex<Sched>,
-    sched_cv: Condvar,
+    /// Per-process fuel budget, from [`SimConfig::fuel`].
+    fuel_limit: Option<u64>,
+    /// Pool of reusable coroutine stacks (bounded; see `STACK_POOL_CAP`).
+    stacks: Mutex<Vec<vproc::Stack>>,
     hosts: Mutex<Hosts>,
     kernels: RwLock<Vec<Arc<Kernel>>>,
     rng: Mutex<u64>,
@@ -350,6 +416,11 @@ pub struct Sim {
 impl Sim {
     /// Creates a simulator.
     pub fn new(cfg: SimConfig) -> Sim {
+        if cfg.fuel.is_some() {
+            // Fuel kills unwind coroutines with a filtered panic payload;
+            // install the hook up front so the first kill prints nothing.
+            install_crash_hook();
+        }
         Sim {
             core: Arc::new(SimCore {
                 mode: cfg.mode,
@@ -363,18 +434,22 @@ impl Sim {
                     lps: HashMap::new(),
                     next_lp: 0,
                     current: None,
-                    idle_workers: Vec::new(),
                     executed: 0,
                     panics: Vec::new(),
+                    reap: Vec::new(),
+                    fuel_exhausted: 0,
+                    peak_live: 0,
                     chooser: None,
                     sched_hash: FNV_OFFSET,
                 }),
-                sched_cv: Condvar::new(),
+                fuel_limit: cfg.fuel,
+                stacks: Mutex::new(Vec::new()),
                 hosts: Mutex::new(Hosts {
                     cpu: Vec::new(),
                     down: Vec::new(),
                     epoch: Vec::new(),
                     stats: Vec::new(),
+                    fuel: Vec::new(),
                 }),
                 kernels: RwLock::new(Vec::new()),
                 rng: Mutex::new(cfg.seed | 1),
@@ -409,6 +484,7 @@ impl Sim {
         h.down.push(false);
         h.epoch.push(0);
         h.stats.push(HostStats::default());
+        h.fuel.push(0);
         id
     }
 
@@ -510,31 +586,64 @@ impl Sim {
     /// Re-raises (as a panic) the first panic that occurred inside any
     /// shepherd process, so test failures surface cleanly.
     pub fn run_until_idle(&self) -> RunReport {
+        self.run_until_time(Time::MAX)
+    }
+
+    /// Runs queued events whose time is `<= stop`, then pauses. Later
+    /// events stay queued and blocked processes stay suspended, so the run
+    /// continues with another `run_until_time`/[`Sim::run_until_idle`]
+    /// call; the returned report describes the state at the pause. When
+    /// every process suspended at the pause is a forkable [`VProc`]
+    /// machine parked on a timer, the paused instant is
+    /// [`Sim::snapshot`]-eligible. Scheduled mode only.
+    pub fn run_until_time(&self, stop: Time) -> RunReport {
         assert_eq!(
             self.core.mode,
             Mode::Scheduled,
-            "run_until_idle is meaningful only in scheduled mode"
+            "run_until_time is meaningful only in scheduled mode"
         );
         let core = &self.core;
         let mut g = core.sched.lock();
-        // Seed the run: process events until the token is handed to a
-        // worker (or the queue is already empty). From then on the workers
-        // drive the event loop themselves — each yielding worker advances
-        // it directly — and this thread sleeps until the run drains.
-        if let Next::Task(task) = advance(core, &mut g) {
-            hand_to_worker(core, &mut g, task);
-        }
-        while g.current.is_some() || !g.events.is_empty() {
-            core.sched_cv.wait(&mut g);
+        loop {
+            // Reap crash-killed processes first, in sorted-id order, so
+            // their unwinds land at a deterministic point of the schedule.
+            if !g.reap.is_empty() {
+                g.reap.sort_unstable();
+                let id = g.reap.remove(0);
+                drop(g);
+                reap_lp(core, id);
+                g = core.sched.lock();
+                continue;
+            }
+            match advance(core, &mut g, stop) {
+                Next::Task(task) => {
+                    drop(g);
+                    run_task(core, task);
+                    g = core.sched.lock();
+                }
+                Next::Resume(lp) => {
+                    drop(g);
+                    resume_lp(core, lp);
+                    g = core.sched.lock();
+                }
+                Next::Drained => {
+                    if !g.reap.is_empty() {
+                        continue;
+                    }
+                    break;
+                }
+            }
         }
         let blocked = g
             .lps
             .values()
             .filter(|l| l.state == RunState::Blocked)
             .count();
-        let hosts = {
+        let (hosts, fuel_used) = {
             let h = core.hosts.lock();
-            h.stats
+            let fuel_used = h.fuel.iter().sum();
+            let hosts = h
+                .stats
                 .iter()
                 .zip(&h.cpu)
                 .map(|(s, &cpu)| {
@@ -542,7 +651,8 @@ impl Sim {
                     s.cpu_ns = cpu;
                     s
                 })
-                .collect()
+                .collect();
+            (hosts, fuel_used)
         };
         let report = RunReport {
             ended_at: g.now,
@@ -551,6 +661,9 @@ impl Sim {
             hosts,
             breakdown: breakdown_of(core),
             sched_hash: g.sched_hash,
+            fuel_used,
+            fuel_exhausted: g.fuel_exhausted,
+            peak_live: g.peak_live,
         };
         let panic = g.panics.first().cloned();
         drop(g);
@@ -558,6 +671,14 @@ impl Sim {
             panic!("shepherd process panicked: {p}");
         }
         report
+    }
+
+    /// Spawns a stackless [`VProc`] machine as a shepherd process on
+    /// `host`, queued at the current virtual time. Scheduled mode only —
+    /// machines have no meaning without a scheduler to perform their
+    /// blocking points.
+    pub fn spawn_vproc(&self, host: HostId, m: Box<dyn VProc>) {
+        self.ctx(host).spawn_vproc_on(host, m);
     }
 
     /// Virtual CPU time of `host`.
@@ -726,9 +847,12 @@ impl Sim {
     /// `sched_hash` fingerprint), the PRNG position, per-host clocks,
     /// crash/boot state and robustness counters, and every protocol's
     /// private state via [`crate::proto::Protocol::snap`]. Quiescent means
-    /// [`Sim::run_until_idle`] has drained — no pending events, no live
-    /// processes — which is when no shepherd is parked mid-protocol and
-    /// per-protocol state is self-contained.
+    /// either [`Sim::run_until_idle`] has drained — no pending events, no
+    /// live processes — or the run is paused (see [`Sim::run_until_time`])
+    /// with every live process a *forkable* [`VProc`] machine suspended at
+    /// a timer blocking point: such continuations are pure data, captured
+    /// via [`VProc::fork`] together with their pending wake events (stale
+    /// ones included — the `sched_hash` identity folds them too).
     ///
     /// [`Sim::restore`] rewinds the *same* simulator (same kernels, same
     /// protocol graph) to this state; a restored run is bit-identical to
@@ -738,18 +862,61 @@ impl Sim {
         if self.core.mode != Mode::Scheduled {
             return Err(XError::Unsupported("snapshot in inline mode"));
         }
-        let (now, seq, next_lp, executed, sched_hash) = {
+        let (now, seq, next_lp, executed, sched_hash, fuel_exhausted, peak_live, wakes, machines) = {
             let g = self.core.sched.lock();
             self.require_quiescent(&g)?;
-            (g.now, g.seq, g.next_lp, g.executed, g.sched_hash)
+            // Every pending event is a Wake (eligibility above); capture
+            // each with the time its heap entry carries, sorted by seq so
+            // restore rebuilds the identical queue. Stale wakes (their
+            // process already gone) are captured too: the scheduler still
+            // processes — and hashes — them.
+            let mut wakes: Vec<SnapWake> = g
+                .heap
+                .iter()
+                .filter_map(|&std::cmp::Reverse((t, seq))| match g.events.get(&seq) {
+                    Some(&EvKind::Wake { lp, reason }) => Some(SnapWake {
+                        t,
+                        seq,
+                        lp: lp.0,
+                        reason,
+                    }),
+                    _ => None,
+                })
+                .collect();
+            wakes.sort_unstable_by_key(|w| w.seq);
+            let mut machines: Vec<SnapMachine> = Vec::with_capacity(g.lps.len());
+            for (&id, st) in &g.lps {
+                let Some(LpBody::Machine(m)) = &st.body else {
+                    unreachable!("eligibility admits only machine continuations");
+                };
+                machines.push(SnapMachine {
+                    lp: id,
+                    host: st.host,
+                    fuel: st.fuel,
+                    m: m.fork().expect("eligibility admits only forkable machines"),
+                });
+            }
+            machines.sort_unstable_by_key(|sm| sm.lp);
+            (
+                g.now,
+                g.seq,
+                g.next_lp,
+                g.executed,
+                g.sched_hash,
+                g.fuel_exhausted,
+                g.peak_live,
+                wakes,
+                machines,
+            )
         };
-        let (cpu, down, epoch, stats) = {
+        let (cpu, down, epoch, stats, fuel) = {
             let h = self.core.hosts.lock();
             (
                 h.cpu.clone(),
                 h.down.clone(),
                 h.epoch.clone(),
                 h.stats.clone(),
+                h.fuel.clone(),
             )
         };
         let rng = *self.core.rng.lock();
@@ -777,6 +944,11 @@ impl Sim {
             down,
             epoch,
             stats,
+            fuel,
+            fuel_exhausted,
+            peak_live,
+            wakes,
+            machines,
             protos,
         })
     }
@@ -799,11 +971,44 @@ impl Sim {
             g.next_lp = snap.next_lp;
             g.executed = snap.executed;
             g.sched_hash = snap.sched_hash;
+            g.fuel_exhausted = snap.fuel_exhausted;
+            g.peak_live = snap.peak_live;
             // The heap may hold entries for cancelled or already-drained
             // events; with `seq` rewound they would alias freshly allocated
-            // sequence numbers, so they must go.
+            // sequence numbers, so they must go — as must any machine
+            // continuations of the pre-restore present, which the
+            // snapshot's copies replace wholesale.
             g.heap.clear();
+            g.events.clear();
+            g.lps.clear();
+            g.reap.clear();
             g.panics.clear();
+            for w in &snap.wakes {
+                g.events.insert(
+                    w.seq,
+                    EvKind::Wake {
+                        lp: LpId(w.lp),
+                        reason: w.reason,
+                    },
+                );
+                g.heap.push(std::cmp::Reverse((w.t, w.seq)));
+            }
+            for sm in &snap.machines {
+                let m = sm.m.fork().ok_or_else(|| {
+                    XError::Config("snapshotted machine refused to fork on restore".into())
+                })?;
+                g.lps.insert(
+                    sm.lp,
+                    LpState {
+                        host: sm.host,
+                        state: RunState::Blocked,
+                        wake_reason: WakeReason::Normal,
+                        body: Some(LpBody::Machine(m)),
+                        wait_sema: None,
+                        fuel: sm.fuel,
+                    },
+                );
+            }
         }
         {
             let mut h = self.core.hosts.lock();
@@ -818,6 +1023,7 @@ impl Sim {
             h.down.clone_from(&snap.down);
             h.epoch.clone_from(&snap.epoch);
             h.stats.clone_from(&snap.stats);
+            h.fuel.clone_from(&snap.fuel);
         }
         *self.core.rng.lock() = snap.rng;
         self.core.journal.lock().truncate(snap.journal_len);
@@ -847,10 +1053,22 @@ impl Sim {
         Ok(())
     }
 
-    /// Errors unless the scheduler is drained: snapshot/restore are only
-    /// meaningful when no event is pending and no shepherd process exists.
+    /// Errors unless the simulator is quiescent: fully drained, or paused
+    /// with only forkable machine continuations suspended on timers (every
+    /// pending event a Wake). Anything else — a running process, a
+    /// suspended *coroutine* (opaque stack), a machine parked on a
+    /// semaphore (waiter queues don't round-trip), an unforkable machine,
+    /// a pending Run/Crash/Restart — is not snapshot material.
     fn require_quiescent(&self, g: &Sched) -> XResult<()> {
-        if g.events.is_empty() && g.current.is_none() && g.lps.is_empty() {
+        let eligible = g.current.is_none()
+            && g.reap.is_empty()
+            && g.events.values().all(|e| matches!(e, EvKind::Wake { .. }))
+            && g.lps.values().all(|st| {
+                st.state == RunState::Blocked
+                    && st.wait_sema.is_none()
+                    && matches!(&st.body, Some(LpBody::Machine(m)) if m.fork().is_some())
+            });
+        if eligible {
             Ok(())
         } else {
             Err(XError::Config(format!(
@@ -864,8 +1082,26 @@ impl Sim {
     }
 }
 
+/// A pending wake event captured in a snapshot.
+struct SnapWake {
+    t: Time,
+    seq: u64,
+    lp: u64,
+    reason: WakeReason,
+}
+
+/// A suspended machine continuation captured in a snapshot (via
+/// [`VProc::fork`]); restore re-forks it so the snapshot stays reusable.
+struct SnapMachine {
+    lp: u64,
+    host: HostId,
+    fuel: u64,
+    m: Box<dyn VProc>,
+}
+
 /// An opaque whole-sim snapshot; see [`Sim::snapshot`]. Holds the scheduler
-/// scalars, PRNG position, per-host state, and one
+/// scalars, PRNG position, per-host state, any suspended machine
+/// continuations with their pending wakes, and one
 /// [`crate::proto::SnapBlob`] per protocol slot per host.
 pub struct SimSnapshot {
     now: Time,
@@ -879,6 +1115,11 @@ pub struct SimSnapshot {
     down: Vec<bool>,
     epoch: Vec<u32>,
     stats: Vec<HostStats>,
+    fuel: Vec<u64>,
+    fuel_exhausted: u64,
+    peak_live: usize,
+    wakes: Vec<SnapWake>,
+    machines: Vec<SnapMachine>,
     protos: Vec<Vec<Option<SnapBlob>>>,
 }
 
@@ -966,26 +1207,21 @@ fn proto_frame_name(kernels: &[Arc<Kernel>], host: usize, proto: Option<ProtoId>
 
 /// What the event loop decided after [`advance`] processed events.
 enum Next {
-    /// A fresh shepherd process must run; the caller either runs it on its
-    /// own stack (a worker that just finished) or hands it to an idle
-    /// worker. The run token (`current`) is already set to the new process.
+    /// A fresh shepherd process must run; the run token (`current`) is
+    /// already set to it. The driver executes its body.
     Task(Task),
-    /// The token was handed to a woken blocked process (its condvar has
-    /// been signalled — possibly the caller itself); stop advancing.
-    Yield,
-    /// No live events remain; `sched_cv` has been notified so
-    /// [`Sim::run_until_idle`] can observe the drained state.
+    /// A blocked process was woken; the token is set to it. The driver
+    /// resumes its suspended continuation.
+    Resume(LpId),
+    /// No live events remain at or before the stop time.
     Drained,
 }
 
 /// Drives the event loop forward: pops live events in deterministic order
-/// and processes them until the run token is claimed or the queue drains.
-/// Must be called with the token free (`current == None`). Any yielding
-/// thread may call this — the direct-handoff fast path — so a finished
-/// worker starts the next process without bouncing through the scheduler
-/// thread, and a blocking process whose own wake is next resumes with no
-/// condvar traffic at all.
-fn advance(core: &Arc<SimCore>, g: &mut parking_lot::MutexGuard<'_, Sched>) -> Next {
+/// and processes them until a process claims the run token or the queue
+/// drains (or passes `stop`). Must be called with the token free
+/// (`current == None`).
+fn advance(core: &Arc<SimCore>, g: &mut parking_lot::MutexGuard<'_, Sched>, stop: Time) -> Next {
     loop {
         // Pop the next live event.
         let next = loop {
@@ -994,6 +1230,13 @@ fn advance(core: &Arc<SimCore>, g: &mut parking_lot::MutexGuard<'_, Sched>) -> N
                 Some(std::cmp::Reverse((t, seq))) => {
                     if !g.events.contains_key(&seq) {
                         continue; // Cancelled; skip.
+                    }
+                    if t > stop {
+                        // Beyond the pause point: put it back untouched
+                        // (before any chooser tie-collection, so pausing
+                        // never consumes exploration decisions).
+                        g.heap.push(std::cmp::Reverse((t, seq)));
+                        break None;
                     }
                     if g.chooser.is_none() {
                         break Some((t, seq));
@@ -1039,7 +1282,6 @@ fn advance(core: &Arc<SimCore>, g: &mut parking_lot::MutexGuard<'_, Sched>) -> N
             }
         };
         let Some((t, seq)) = next else {
-            core.sched_cv.notify_one();
             return Next::Drained;
         };
         g.now = t;
@@ -1058,7 +1300,7 @@ fn advance(core: &Arc<SimCore>, g: &mut parking_lot::MutexGuard<'_, Sched>) -> N
             core.check.lock().tick_event(g.executed, t);
         }
         match kind {
-            EvKind::Run { host, f } => {
+            EvKind::Run { host, body } => {
                 let jumped = {
                     let mut h = core.hosts.lock();
                     if h.down[host.0] {
@@ -1081,7 +1323,7 @@ fn advance(core: &Arc<SimCore>, g: &mut parking_lot::MutexGuard<'_, Sched>) -> N
                         jumped.1,
                     );
                 }
-                let task = new_lp(g, host, f);
+                let task = new_lp(g, host, body, core.fuel_limit.unwrap_or(u64::MAX));
                 if core.check_on {
                     // The new process inherits its spawner's clock via the
                     // deposit keyed by this event's seq (if one was made).
@@ -1109,7 +1351,9 @@ fn advance(core: &Arc<SimCore>, g: &mut parking_lot::MutexGuard<'_, Sched>) -> N
                 // host die with it, as do pending wakes for its
                 // processes. Crash/Restart events survive — a scheduled
                 // restart must not be purged by its own crash.
-                let Sched { events, lps, .. } = &mut **g;
+                let Sched {
+                    events, lps, reap, ..
+                } = &mut **g;
                 let dead: Vec<u64> = events
                     .iter()
                     .filter(|(_, k)| match k {
@@ -1122,24 +1366,25 @@ fn advance(core: &Arc<SimCore>, g: &mut parking_lot::MutexGuard<'_, Sched>) -> N
                 for s in dead {
                     events.remove(&s);
                 }
-                // Blocked processes on the host are killed: their
-                // shepherd threads unwind (via a filtered panic) the
-                // next time their condvar is signalled.
-                for st in lps.values_mut() {
+                // Blocked processes on the host are killed: the run loop
+                // reaps them (unwinding coroutines via a filtered panic)
+                // at its next deterministic reap point.
+                for (&id, st) in lps.iter_mut() {
                     if st.host == host && st.state == RunState::Blocked {
                         st.state = RunState::Killed;
-                        st.cv.notify_one();
+                        reap.push(id);
                     }
                 }
                 if core.check_on {
                     // Every process of the crashed host had its pending
                     // wakes purged; late signals to them are expected, not
                     // lost wakeups.
-                    let doomed: Vec<u64> = lps
+                    let mut doomed: Vec<u64> = lps
                         .iter()
                         .filter(|(_, s)| s.host == host)
                         .map(|(&id, _)| id)
                         .collect();
+                    doomed.sort_unstable();
                     let mut chk = core.check.lock();
                     for lp in doomed {
                         chk.on_lp_killed(lp);
@@ -1184,7 +1429,12 @@ fn advance(core: &Arc<SimCore>, g: &mut parking_lot::MutexGuard<'_, Sched>) -> N
                         panic!("reboot failed on host {}: {e}", ctx.host().0);
                     }
                 });
-                let task = new_lp(g, host, f);
+                let task = new_lp(
+                    g,
+                    host,
+                    ProcBody::Thunk(f),
+                    core.fuel_limit.unwrap_or(u64::MAX),
+                );
                 if core.check_on {
                     core.check.lock().on_lp_start(task.lp.0, host.0, seq);
                 }
@@ -1208,7 +1458,6 @@ fn advance(core: &Arc<SimCore>, g: &mut parking_lot::MutexGuard<'_, Sched>) -> N
                 let host = st.host;
                 st.state = RunState::Running;
                 st.wake_reason = reason;
-                let cv = Arc::clone(&st.cv);
                 g.current = Some(lp);
                 let switch = core.cost.proc_switch;
                 let jumped = {
@@ -1226,8 +1475,7 @@ fn advance(core: &Arc<SimCore>, g: &mut parking_lot::MutexGuard<'_, Sched>) -> N
                     tr.attribute(host.0, key, OpClass::Idle, jumped.0, jumped.1);
                     tr.attribute(host.0, key, OpClass::Switch, switch, jumped.1);
                 }
-                cv.notify_one();
-                return Next::Yield;
+                return Next::Resume(lp);
             }
         }
     }
@@ -1235,7 +1483,12 @@ fn advance(core: &Arc<SimCore>, g: &mut parking_lot::MutexGuard<'_, Sched>) -> N
 
 /// Registers a fresh logical process (ids allocated in event order, which
 /// determinism depends on) and claims the run token for it.
-fn new_lp(g: &mut parking_lot::MutexGuard<'_, Sched>, host: HostId, f: Thunk) -> Task {
+fn new_lp(
+    g: &mut parking_lot::MutexGuard<'_, Sched>,
+    host: HostId,
+    body: ProcBody,
+    fuel: u64,
+) -> Task {
     let lp = LpId(g.next_lp);
     g.next_lp += 1;
     g.lps.insert(
@@ -1243,35 +1496,26 @@ fn new_lp(g: &mut parking_lot::MutexGuard<'_, Sched>, host: HostId, f: Thunk) ->
         LpState {
             host,
             state: RunState::Running,
-            cv: Arc::new(Condvar::new()),
             wake_reason: WakeReason::Normal,
+            body: None,
+            wait_sema: None,
+            fuel,
         },
     );
+    g.peak_live = g.peak_live.max(g.lps.len());
     g.current = Some(lp);
-    Task { lp, host, f }
-}
-
-/// Places `task` on an idle worker (spawning one only when the pool is
-/// empty). Used by callers that cannot run the task on their own stack —
-/// the scheduler thread and blocked processes.
-fn hand_to_worker(core: &Arc<SimCore>, g: &mut parking_lot::MutexGuard<'_, Sched>, task: Task) {
-    let slot = g
-        .idle_workers
-        .pop()
-        .unwrap_or_else(|| spawn_worker(Arc::clone(core)));
-    *slot.m.lock() = Some(task);
-    slot.cv.notify_one();
+    Task { lp, host, body }
 }
 
 /// Installs (once, process-wide) a panic hook that silences the
-/// [`CrashKill`] unwind used to reap crashed hosts' processes; everything
-/// else is forwarded to the previous hook.
+/// [`CrashKill`]/[`FuelKill`] unwinds used to reap killed processes;
+/// everything else is forwarded to the previous hook.
 fn install_crash_hook() {
     static ONCE: std::sync::Once = std::sync::Once::new();
     ONCE.call_once(|| {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            if info.payload().is::<CrashKill>() {
+            if info.payload().is::<CrashKill>() || info.payload().is::<FuelKill>() {
                 return;
             }
             prev(info);
@@ -1279,79 +1523,245 @@ fn install_crash_hook() {
     });
 }
 
-fn spawn_worker(core: Arc<SimCore>) -> Arc<WorkerSlot> {
-    let slot = Arc::new(WorkerSlot {
-        m: Mutex::new(None),
-        cv: Condvar::new(),
-    });
-    let thread_slot = Arc::clone(&slot);
-    std::thread::Builder::new()
-        .name("xk-shepherd".into())
-        // Simulated processes run shallow protocol stacks; a small fixed
-        // stack lets load experiments hold thousands of processes in
-        // flight without exhausting process memory on thread stacks.
-        .stack_size(512 * 1024)
-        .spawn(move || worker_main(core, thread_slot))
-        .expect("spawning shepherd worker thread");
-    slot
+/// Upper bound on pooled coroutine stacks (512 KiB + guard page each).
+/// Beyond this, finished stacks are unmapped instead of recycled.
+const STACK_POOL_CAP: usize = 256;
+
+/// Starts a fresh process's body. Thunks get a (pooled) stack and run as a
+/// coroutine until they block or finish; machines step on this stack.
+/// Called without the scheduler lock; the run token is already `task.lp`.
+fn run_task(core: &Arc<SimCore>, task: Task) {
+    match task.body {
+        ProcBody::Thunk(f) => {
+            let stack = core
+                .stacks
+                .lock()
+                .pop()
+                .unwrap_or_else(|| vproc::Stack::new(vproc::STACK_SIZE));
+            let fuel = core.fuel_limit.unwrap_or(u64::MAX);
+            let wrapper_core = Arc::clone(core);
+            let lp = task.lp;
+            let host = task.host;
+            let body: Box<dyn FnOnce() + Send> = Box::new(move || {
+                let ctx = Ctx {
+                    core: Arc::clone(&wrapper_core),
+                    host,
+                    lp: Some(lp),
+                };
+                let result = catch_unwind(AssertUnwindSafe(move || f(&ctx)));
+                if let Err(p) = result {
+                    if p.is::<CrashKill>() {
+                        // Normal death of a process whose host crashed.
+                    } else if p.is::<FuelKill>() {
+                        wrapper_core.sched.lock().fuel_exhausted += 1;
+                        if wrapper_core.check_on {
+                            // Killed mid-protocol: late signals to it are
+                            // expected, not lost wakeups.
+                            wrapper_core.check.lock().on_lp_killed(lp.0);
+                        }
+                    } else {
+                        let text = p
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| p.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".into());
+                        wrapper_core.sched.lock().panics.push(text);
+                    }
+                }
+            });
+            let coro = vproc::Coro::new(stack, body, fuel);
+            drive_coro(core, task.lp, coro);
+        }
+        ProcBody::Machine(m) => {
+            step_machine(core, task.lp, task.host, m, WakeReason::Normal);
+        }
+    }
 }
 
-fn worker_main(core: Arc<SimCore>, slot: Arc<WorkerSlot>) {
-    loop {
-        let mut task = {
-            let mut m = slot.m.lock();
-            loop {
-                if let Some(t) = m.take() {
-                    break t;
-                }
-                slot.cv.wait(&mut m);
-            }
-        };
-        // Run tasks back to back: when the next event is a fresh process,
-        // this worker executes it on its own stack instead of parking and
-        // being woken again — the forced-choice direct handoff.
-        loop {
-            let ctx = Ctx {
-                core: Arc::clone(&core),
-                host: task.host,
-                lp: Some(task.lp),
-            };
-            let lp = task.lp;
-            let f = task.f;
-            let result = catch_unwind(AssertUnwindSafe(move || f(&ctx)));
+/// Resumes a coroutine and parks or retires it afterwards. Called without
+/// the scheduler lock.
+fn drive_coro(core: &Arc<SimCore>, lp: LpId, mut coro: vproc::Coro) {
+    let finished = coro.resume();
+    if finished {
+        {
             let mut g = core.sched.lock();
-            if let Err(p) = result {
-                // A CrashKill unwind is the normal death of a process whose
-                // host crashed, not a failure.
-                if !p.is::<CrashKill>() {
-                    let text = p
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| p.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "non-string panic payload".into());
-                    g.panics.push(text);
-                }
+            if g.current == Some(lp) {
+                g.current = None;
             }
             g.lps.remove(&lp.0);
-            if core.trace_on {
-                // The guards unwound with the process; discard its (empty)
-                // span stack so the table doesn't grow with process count.
-                core.trace.lock().drop_key(SpanKey::Lp(lp.0));
-            }
-            // A killed process unwinds asynchronously, after the event loop
-            // has moved on: it does not hold the run token, so it must not
-            // clear `current` or advance — it just parks.
-            let owned = g.current == Some(lp);
-            if owned {
-                g.current = None;
-                if let Next::Task(t) = advance(&core, &mut g) {
-                    drop(g);
-                    task = t;
-                    continue;
+        }
+        if core.trace_on {
+            // The guards unwound with the process; discard its (empty)
+            // span stack so the table doesn't grow with process count.
+            core.trace.lock().drop_key(SpanKey::Lp(lp.0));
+        }
+        let stack = coro.into_stack();
+        let mut pool = core.stacks.lock();
+        if pool.len() < STACK_POOL_CAP {
+            pool.push(stack);
+        }
+    } else {
+        // Blocked: `block_current` already marked it and released the run
+        // token; park the suspended stack with the process.
+        let mut g = core.sched.lock();
+        let st = g
+            .lps
+            .get_mut(&lp.0)
+            .expect("suspended process still registered");
+        st.body = Some(LpBody::Coro(coro));
+    }
+}
+
+/// Resumes a blocked process the scheduler just woke. Called without the
+/// scheduler lock; the run token is already `lp`.
+fn resume_lp(core: &Arc<SimCore>, lp: LpId) {
+    let (body, host, reason, waited) = {
+        let mut g = core.sched.lock();
+        let st = g.lps.get_mut(&lp.0).expect("woken process registered");
+        (
+            st.body.take().expect("woken process has a continuation"),
+            st.host,
+            st.wake_reason,
+            st.wait_sema.take(),
+        )
+    };
+    match body {
+        LpBody::Coro(coro) => drive_coro(core, lp, coro),
+        LpBody::Machine(m) => {
+            if core.check_on {
+                if let Some(sema_id) = waited {
+                    // The scheduler performed the machine's wait; close it
+                    // out exactly where `p`/`p_timeout` would have.
+                    core.check
+                        .lock()
+                        .on_wait_end(lp.0, sema_id, reason == WakeReason::Normal);
                 }
             }
-            g.idle_workers.push(Arc::clone(&slot));
-            break;
+            step_machine(core, lp, host, m, reason);
+        }
+    }
+}
+
+/// Runs a machine from one blocking point to the next (or to completion),
+/// performing the returned [`VStep`]s on its behalf. Called without the
+/// scheduler lock; the run token is `lp`.
+fn step_machine(
+    core: &Arc<SimCore>,
+    lp: LpId,
+    host: HostId,
+    mut m: Box<dyn VProc>,
+    mut reason: WakeReason,
+) {
+    let ctx = Ctx {
+        core: Arc::clone(core),
+        host,
+        lp: Some(lp),
+    };
+    loop {
+        // Machines pay one fuel unit per resume; exhaustion kills the
+        // process at this deterministic point, like a coroutine's FuelKill.
+        {
+            let mut g = core.sched.lock();
+            let st = g.lps.get_mut(&lp.0).expect("machine process registered");
+            if st.fuel == 0 {
+                g.fuel_exhausted += 1;
+                finalize_lp(core, g, lp);
+                if core.check_on {
+                    core.check.lock().on_lp_killed(lp.0);
+                }
+                return;
+            }
+            if st.fuel != u64::MAX {
+                st.fuel -= 1;
+            }
+        }
+        core.hosts.lock().fuel[host.0] += 1;
+        match m.resume(&ctx, reason) {
+            VStep::Done => {
+                let g = core.sched.lock();
+                finalize_lp(core, g, lp);
+                return;
+            }
+            VStep::Sleep(dt) => {
+                // Mirror `Ctx::sleep` exactly: the wake is stamped from the
+                // host clock *before* the switch charge lands.
+                let t = ctx.event_time() + dt;
+                {
+                    let mut g = core.sched.lock();
+                    let seq = g.seq;
+                    g.seq += 1;
+                    g.events.insert(
+                        seq,
+                        EvKind::Wake {
+                            lp,
+                            reason: WakeReason::Normal,
+                        },
+                    );
+                    g.heap.push(std::cmp::Reverse((t, seq)));
+                }
+                ctx.charge_class(OpClass::Switch, core.cost.proc_switch);
+                let mut g = core.sched.lock();
+                let st = g.lps.get_mut(&lp.0).expect("machine process registered");
+                st.state = RunState::Blocked;
+                st.wait_sema = None;
+                st.body = Some(LpBody::Machine(m));
+                g.current = None;
+                return;
+            }
+            VStep::Wait { sema, timeout } => {
+                if sema.register_wait(&ctx, lp, timeout) {
+                    // Fast path: a unit was available; no block happened.
+                    reason = WakeReason::Normal;
+                    continue;
+                }
+                ctx.charge_class(OpClass::Switch, core.cost.proc_switch);
+                let mut g = core.sched.lock();
+                let st = g.lps.get_mut(&lp.0).expect("machine process registered");
+                st.state = RunState::Blocked;
+                st.wait_sema = Some(sema.check_id());
+                st.body = Some(LpBody::Machine(m));
+                g.current = None;
+                return;
+            }
+        }
+    }
+}
+
+/// Retires a finished or killed process: releases the run token if it holds
+/// it, unregisters it, and discards its span stack.
+fn finalize_lp(core: &Arc<SimCore>, mut g: parking_lot::MutexGuard<'_, Sched>, lp: LpId) {
+    if g.current == Some(lp) {
+        g.current = None;
+    }
+    g.lps.remove(&lp.0);
+    drop(g);
+    if core.trace_on {
+        core.trace.lock().drop_key(SpanKey::Lp(lp.0));
+    }
+}
+
+/// Reaps one crash-killed process: a coroutine is resumed so it unwinds via
+/// [`CrashKill`] (running its drop guards), a machine is simply dropped.
+/// Called without the scheduler lock, with the run token free.
+fn reap_lp(core: &Arc<SimCore>, id: u64) {
+    let body = {
+        let mut g = core.sched.lock();
+        match g.lps.get_mut(&id) {
+            Some(st) if st.state == RunState::Killed => st.body.take(),
+            // Already gone (e.g. reaped via an earlier crash); nothing to do.
+            _ => return,
+        }
+    };
+    match body {
+        Some(LpBody::Coro(coro)) => {
+            // Resuming lets `block_current` observe Killed and unwind; the
+            // wrapper filters the CrashKill payload and the coroutine
+            // finishes, so drive_coro retires it and recycles the stack.
+            drive_coro(core, LpId(id), coro);
+        }
+        Some(LpBody::Machine(_)) | None => {
+            let g = core.sched.lock();
+            finalize_lp(core, g, LpId(id));
         }
     }
 }
@@ -1419,12 +1829,15 @@ impl Ctx {
 
     /// Charges `ns` of virtual CPU time to this host, attributed (when
     /// tracing is on) to the active layer under the given operation class.
+    /// Every charge is also one fuel unit: the deterministic budget a
+    /// [`SimConfig::with_fuel`] simulation kills runaway processes by.
     pub fn charge_class(&self, class: OpClass, ns: Nanos) {
         if self.core.mode == Mode::Inline || ns == 0 {
             return;
         }
         let t = {
             let mut h = self.core.hosts.lock();
+            h.fuel[self.host.0] += 1;
             let cpu = &mut h.cpu[self.host.0];
             *cpu += ns;
             *cpu
@@ -1434,6 +1847,11 @@ impl Ctx {
                 .trace
                 .lock()
                 .attribute(self.host.0, self.span_key(), class, ns, t);
+        }
+        // The exhausting tick is raised only after the charge has landed
+        // and every lock is released, so the kill point is clean.
+        if vproc::fuel_tick() {
+            panic_any(FuelKill);
         }
     }
 
@@ -1550,10 +1968,27 @@ impl Ctx {
         }
     }
 
+    /// Spawns a stackless [`VProc`] machine as a shepherd process on
+    /// `host` at the current time. Scheduled mode only (machines block by
+    /// returning [`VStep`]s to the scheduler, which inline mode lacks).
+    pub fn spawn_vproc_on(&self, host: HostId, m: Box<dyn VProc>) {
+        assert_eq!(
+            self.core.mode,
+            Mode::Scheduled,
+            "virtual-process machines require scheduled mode"
+        );
+        let t = self.event_time();
+        self.schedule_proc_at(t, host, ProcBody::Machine(m));
+    }
+
     /// Schedules `f` to run as a new shepherd process on `host` at absolute
     /// virtual time `t`. Scheduled mode only (inline callers use
     /// [`Ctx::spawn_on`]).
     pub fn schedule_run_at(&self, t: Time, host: HostId, f: Thunk) -> TimerHandle {
+        self.schedule_proc_at(t, host, ProcBody::Thunk(f))
+    }
+
+    fn schedule_proc_at(&self, t: Time, host: HostId, body: ProcBody) -> TimerHandle {
         assert_eq!(
             self.core.mode,
             Mode::Scheduled,
@@ -1575,7 +2010,7 @@ impl Ctx {
         }
         let seq = g.seq;
         g.seq += 1;
-        g.events.insert(seq, EvKind::Run { host, f });
+        g.events.insert(seq, EvKind::Run { host, body });
         g.heap.push(std::cmp::Reverse((t, seq)));
         if self.core.check_on {
             if let Some(lp) = self.lp {
@@ -1626,36 +2061,27 @@ impl Ctx {
             (_, None) => panic!("blocking outside a shepherd process"),
         };
         self.charge_class(OpClass::Switch, self.core.cost.proc_switch);
-        let mut g = self.core.sched.lock();
-        let st = g.lps.get_mut(&lp.0).expect("current process registered");
-        st.state = RunState::Blocked;
-        let cv = Arc::clone(&st.cv);
-        g.current = None;
-        // Drive the event loop from this thread before sleeping. The common
-        // next event is this very process's wake (a queued reply, a sleep
-        // timer), in which case `advance` marks us Running and the
-        // check-before-wait loop below returns without a single condvar
-        // operation — the double bounce through the scheduler is gone.
-        if let Next::Task(t) = advance(&self.core, &mut g) {
-            // The next event needs a fresh process but this stack is parked
-            // inside a protocol: hand it to an idle worker.
-            hand_to_worker(&self.core, &mut g, t);
+        {
+            let mut g = self.core.sched.lock();
+            let st = g.lps.get_mut(&lp.0).expect("current process registered");
+            st.state = RunState::Blocked;
+            st.wait_sema = None; // Coroutines run their own wait-end hooks.
+            g.current = None;
         }
-        loop {
-            {
-                let st = g.lps.get(&lp.0).expect("blocked process cannot vanish");
-                match st.state {
-                    RunState::Running => return st.wake_reason,
-                    RunState::Killed => {
-                        // Host crashed while we were blocked: unwind this
-                        // process. worker_main recognises the payload.
-                        drop(g);
-                        panic_any(CrashKill);
-                    }
-                    _ => {}
-                }
+        // Suspend this coroutine; the scheduler's run loop picks the next
+        // event. The next resume lands right here.
+        vproc::yield_now();
+        let g = self.core.sched.lock();
+        let st = g.lps.get(&lp.0).expect("blocked process cannot vanish");
+        match st.state {
+            RunState::Running => st.wake_reason,
+            RunState::Killed => {
+                // Host crashed while we were blocked: unwind this process.
+                // The coroutine wrapper recognises the payload.
+                drop(g);
+                panic_any(CrashKill);
             }
-            cv.wait(&mut g);
+            RunState::Blocked => unreachable!("coroutine resumed while still blocked"),
         }
     }
 
@@ -2060,5 +2486,67 @@ impl SharedSema {
             ctx.core.check.lock().on_wait_end(lp.0, sema.id, acquired);
         }
         acquired
+    }
+
+    /// The checker identity of this semaphore (for [`LpState::wait_sema`]).
+    pub(crate) fn check_id(&self) -> u64 {
+        self.0.id
+    }
+
+    /// Registers a *machine* wait on behalf of the scheduler: the
+    /// charge/fast-path/waiter/timer sequence of [`Sema::p`] and
+    /// [`SharedSema::p_timeout`] without the block itself. Returns `true`
+    /// when a unit was acquired immediately (no block needed); otherwise
+    /// the waiter (and optional timeout timer) is registered and the
+    /// caller parks the machine. The matching `on_wait_end` hook runs when
+    /// the scheduler resumes the machine.
+    pub(crate) fn register_wait(&self, ctx: &Ctx, lp: LpId, timeout: Option<Nanos>) -> bool {
+        let sema = &self.0;
+        ctx.charge_class(OpClass::Sema, ctx.cost().sema_op);
+        let my_seq;
+        {
+            let mut st = sema.st.lock();
+            if st.count > 0 {
+                st.count -= 1;
+                if ctx.core.check_on {
+                    drop(st);
+                    ctx.core
+                        .check
+                        .lock()
+                        .on_acquire(lp.0, sema.id, sema.label, ctx.host.0);
+                }
+                return true;
+            }
+            my_seq = st.next_seq;
+            st.next_seq += 1;
+            st.waiters.push_back(Waiter {
+                lp,
+                timer: None,
+                seq: my_seq,
+            });
+            if ctx.core.check_on {
+                drop(st);
+                ctx.core
+                    .check
+                    .lock()
+                    .on_wait_begin(lp.0, sema.id, sema.label, ctx.host.0);
+            }
+        }
+        if let Some(dt) = timeout {
+            let me = Arc::clone(sema);
+            let timer = ctx.schedule_after(dt, move |tctx| {
+                let mut st = me.st.lock();
+                if let Some(pos) = st.waiters.iter().position(|w| w.seq == my_seq) {
+                    st.waiters.remove(pos);
+                    drop(st);
+                    tctx.wake(lp, WakeReason::Timeout);
+                }
+            });
+            let mut st = sema.st.lock();
+            if let Some(w) = st.waiters.iter_mut().find(|w| w.seq == my_seq) {
+                w.timer = Some(timer);
+            }
+        }
+        false
     }
 }

@@ -276,13 +276,14 @@ impl LoadSpec {
 }
 
 /// Per-client (closed) or per-host (open) tally shard; merged in index
-/// order after the run, so the merged result is deterministic.
+/// order after the run, so the merged result is deterministic. Shared with
+/// [`crate::mclient`], whose machine clients tally per *host*.
 #[derive(Default)]
-struct Shard {
-    hist: Hist,
-    attempted: u64,
-    completed: u64,
-    failed: u64,
+pub(crate) struct Shard {
+    pub(crate) hist: Hist,
+    pub(crate) attempted: u64,
+    pub(crate) completed: u64,
+    pub(crate) failed: u64,
 }
 
 /// Everything observable about one load run, all integers, `Eq`-comparable.
@@ -320,7 +321,7 @@ pub struct LoadReport {
 }
 
 /// Registers the echo procedure on the server for `stack`.
-fn serve_echo(stack: &LoadStack, server: &Arc<Kernel>) {
+pub(crate) fn serve_echo(stack: &LoadStack, server: &Arc<Kernel>) {
     match stack {
         LoadStack::Paper(def) => {
             xrpc::serve(server, def.entry, ECHO_PROC, |_ctx, msg| Ok(msg)).expect("serve echo")
@@ -333,7 +334,12 @@ fn serve_echo(stack: &LoadStack, server: &Arc<Kernel>) {
 }
 
 /// One echo call on `stack` from the calling process's host.
-fn do_call(stack: &LoadStack, ctx: &Ctx, server_ip: IpAddr, payload: usize) -> XResult<Vec<u8>> {
+pub(crate) fn do_call(
+    stack: &LoadStack,
+    ctx: &Ctx,
+    server_ip: IpAddr,
+    payload: usize,
+) -> XResult<Vec<u8>> {
     let body = vec![0xa5u8; payload];
     match stack {
         LoadStack::Paper(def) => {
@@ -349,7 +355,7 @@ fn do_call(stack: &LoadStack, ctx: &Ctx, server_ip: IpAddr, payload: usize) -> X
 
 /// One echo call from every client host on the quiet wire, so ARP caches,
 /// routes, and session/channel state are warm before the measured window.
-fn warm(rig: &LoadRig, stack: &LoadStack) {
+pub(crate) fn warm(rig: &LoadRig, stack: &LoadStack) {
     // One host at a time: concurrent warm-ups could trip a deliberately
     // tiny reject-policy pool, and warm-up must never fail.
     for k in &rig.clients {

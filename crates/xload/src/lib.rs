@@ -50,9 +50,11 @@
 pub mod fork;
 pub mod gen;
 pub mod hist;
+pub mod mclient;
 pub mod topo;
 
 pub use fork::{fork_sweep, ForkReport, PolicyPoint};
 pub use gen::{poisson_offsets, GenMode, LoadReport, LoadSpec};
 pub use hist::{Hist, LatencySummary};
+pub use mclient::{MClientReport, MClientSpec};
 pub use topo::{build_rig, with_params, LoadRig, LoadStack, Topology};
